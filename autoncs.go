@@ -1,0 +1,276 @@
+// Package autoncs is an open reimplementation of AutoNCS, the EDA
+// framework for large-scale hybrid neuromorphic computing systems (Wen et
+// al., DAC 2015). Given a sparse neural network's binary connection matrix,
+// it partitions the connections onto a library of fixed-size memristor
+// crossbars plus discrete synapses via iterative spectral clustering, and
+// produces a placed-and-routed physical design whose wirelength, area, and
+// delay it reports.
+//
+// The typical flow:
+//
+//	net := autoncs.RandomSparseNetwork(400, 0.94, 1)
+//	cfg := autoncs.DefaultConfig()
+//	res, err := autoncs.Compile(net, cfg)        // the AutoNCS flow
+//	base, err := autoncs.CompileFullCro(net, cfg) // max-size crossbar baseline
+//	cmp := autoncs.Compare(res, base)             // Table 1 style reductions
+//
+// The heavy lifting lives in the internal packages (core, place, route,
+// ...); this package wires them together and re-exports the types a caller
+// needs.
+package autoncs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/hopfield"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/xbar"
+)
+
+// Re-exported types: the public API surface of the flow.
+type (
+	// Network is a square binary connection matrix over n neurons.
+	Network = graph.Conn
+	// Edge is one directed connection of a network.
+	Edge = graph.Edge
+	// Library is the set of allowed crossbar sizes.
+	Library = xbar.Library
+	// DeviceModel holds the substrate's geometric/electrical parameters.
+	DeviceModel = xbar.DeviceModel
+	// Assignment is the hybrid crossbar/synapse implementation topology.
+	Assignment = xbar.Assignment
+	// Crossbar is one crossbar instance of an assignment.
+	Crossbar = xbar.Crossbar
+	// Iteration is one recorded ISC round.
+	Iteration = core.Iteration
+	// Netlist is the physical-design cell/wire list.
+	Netlist = netlist.Netlist
+	// Placement is a legalized placement.
+	Placement = place.Result
+	// Routing is a routed design with congestion map.
+	Routing = route.Result
+	// CostReport is the evaluated physical cost (Eq. 3).
+	CostReport = cost.Report
+	// CostParams are the α, β, δ weights of Eq. 3.
+	CostParams = cost.Params
+	// PlaceOptions tunes the analytical placer.
+	PlaceOptions = place.Options
+	// RouteOptions tunes the grid maze router.
+	RouteOptions = route.Options
+	// Testbench describes one of the paper's Hopfield benchmarks.
+	Testbench = hopfield.Testbench
+	// HopfieldNetwork is a (sparsifiable) Hopfield associative memory.
+	HopfieldNetwork = hopfield.Network
+	// Pattern is a ±1 binary pattern stored in a Hopfield network.
+	Pattern = hopfield.Pattern
+)
+
+// LoadNetwork reads a network from a file in the autoncs-net text format.
+func LoadNetwork(path string) (*Network, error) { return graph.Load(path) }
+
+// Corrupt flips the given fraction of bits of p, seeded by rng.
+func Corrupt(p Pattern, fraction float64, rng *rand.Rand) Pattern {
+	return hopfield.Corrupt(p, fraction, rng)
+}
+
+// Overlap returns the fraction of positions where two patterns agree.
+func Overlap(a, b Pattern) float64 { return hopfield.Overlap(a, b) }
+
+// NewNetwork returns an empty connection matrix over n neurons.
+func NewNetwork(n int) *Network { return graph.NewConn(n) }
+
+// RandomSparseNetwork returns a random symmetric network with the given
+// sparsity, seeded deterministically.
+func RandomSparseNetwork(n int, sparsity float64, seed int64) *Network {
+	return graph.RandomSparse(n, sparsity, rand.New(rand.NewSource(seed)))
+}
+
+// DefaultLibrary returns the paper's crossbar sizes, 16..64 step 4.
+func DefaultLibrary() Library { return xbar.DefaultLibrary() }
+
+// Default45nm returns the calibrated 45 nm device model.
+func Default45nm() DeviceModel { return xbar.Default45nm() }
+
+// Testbenches returns the paper's three Hopfield benchmark configurations.
+func Testbenches() []Testbench { return hopfield.Testbenches() }
+
+// Config collects every knob of the flow. Use DefaultConfig and override.
+type Config struct {
+	// Library is the allowed crossbar size set.
+	Library Library
+	// Device is the substrate model used for netlist, delay, and cost.
+	Device DeviceModel
+	// UtilizationThreshold is ISC's stop threshold t. Zero means automatic:
+	// the average utilization of the FullCro baseline on the same network
+	// (Section 4.2: "the iteration of ISC stops when the average crossbar
+	// utilization is below that of the baseline design").
+	UtilizationThreshold float64
+	// SelectionQuantile is the CP quantile of ISC's partial selection
+	// strategy; zero means the paper's 0.75 (top 25%). Negative disables
+	// partial selection (every cluster is realized each round).
+	SelectionQuantile float64
+	// Place tunes the analytical placer.
+	Place PlaceOptions
+	// Route tunes the grid router.
+	Route RouteOptions
+	// Cost holds the α, β, δ weights of Eq. 3.
+	Cost CostParams
+	// Seed drives all randomized steps (k-means seeding).
+	Seed int64
+	// SkipPhysical stops after clustering: Netlist, Placement, Routing and
+	// Report stay nil. Useful when only the mapping is of interest.
+	SkipPhysical bool
+}
+
+// DefaultConfig returns the configuration used in the paper's experiments.
+func DefaultConfig() Config {
+	return Config{
+		Library: DefaultLibrary(),
+		Device:  Default45nm(),
+		Place:   place.DefaultOptions(),
+		Route:   route.DefaultOptions(),
+		Cost:    cost.DefaultParams(),
+		Seed:    1,
+	}
+}
+
+// Result bundles everything the flow produces.
+type Result struct {
+	// Assignment is the hybrid mapping (always present).
+	Assignment *Assignment
+	// Trace is the per-iteration ISC record (nil for FullCro).
+	Trace []Iteration
+	// Netlist, Placement, Routing, Report are the physical design
+	// artifacts (nil when SkipPhysical is set).
+	Netlist   *Netlist
+	Placement *Placement
+	Routing   *Routing
+	Report    *CostReport
+}
+
+// Compile runs the complete AutoNCS flow on the network: ISC clustering
+// into the crossbar library, then placement, routing, and cost evaluation.
+func Compile(net *Network, cfg Config) (*Result, error) {
+	if net == nil {
+		return nil, fmt.Errorf("autoncs: nil network")
+	}
+	threshold := cfg.UtilizationThreshold
+	if threshold == 0 {
+		threshold = xbar.FullCro(net, cfg.Library).AvgUtilization()
+	}
+	iscRes, err := core.ISC(net, core.ISCOptions{
+		Library:              cfg.Library,
+		UtilizationThreshold: threshold,
+		SelectionQuantile:    cfg.SelectionQuantile,
+		Rand:                 rand.New(rand.NewSource(cfg.Seed)),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("autoncs: clustering: %w", err)
+	}
+	res := &Result{Assignment: iscRes.Assignment, Trace: iscRes.Trace}
+	if cfg.SkipPhysical {
+		return res, nil
+	}
+	if err := res.physicalDesign(cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// CompileFullCro runs the paper's baseline: the network realized with
+// maximum-size crossbars only (one per non-empty block), then the same
+// physical design flow.
+func CompileFullCro(net *Network, cfg Config) (*Result, error) {
+	if net == nil {
+		return nil, fmt.Errorf("autoncs: nil network")
+	}
+	res := &Result{Assignment: xbar.FullCro(net, cfg.Library)}
+	if cfg.SkipPhysical {
+		return res, nil
+	}
+	if err := res.physicalDesign(cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// physicalDesign runs netlist → place → route → cost on res.Assignment.
+func (res *Result) physicalDesign(cfg Config) error {
+	nl, err := netlist.Build(res.Assignment, cfg.Device)
+	if err != nil {
+		return fmt.Errorf("autoncs: netlist: %w", err)
+	}
+	pl, err := place.Place(nl, cfg.Place)
+	if err != nil {
+		return fmt.Errorf("autoncs: placement: %w", err)
+	}
+	rt, err := route.Route(nl, pl, cfg.Route)
+	if err != nil {
+		return fmt.Errorf("autoncs: routing: %w", err)
+	}
+	rep, err := cost.Evaluate(nl, pl, rt, cfg.Device, cfg.Cost)
+	if err != nil {
+		return fmt.Errorf("autoncs: cost: %w", err)
+	}
+	res.Netlist, res.Placement, res.Routing, res.Report = nl, pl, rt, rep
+	return nil
+}
+
+// Redesign re-runs placement, routing, and cost evaluation on the result's
+// existing netlist — useful after modifying it (e.g. flattening wire
+// weights for an ablation). It requires a prior non-SkipPhysical compile.
+func (res *Result) Redesign(cfg Config) error {
+	if res.Netlist == nil {
+		return fmt.Errorf("autoncs: Redesign requires an existing netlist")
+	}
+	pl, err := place.Place(res.Netlist, cfg.Place)
+	if err != nil {
+		return fmt.Errorf("autoncs: placement: %w", err)
+	}
+	rt, err := route.Route(res.Netlist, pl, cfg.Route)
+	if err != nil {
+		return fmt.Errorf("autoncs: routing: %w", err)
+	}
+	rep, err := cost.Evaluate(res.Netlist, pl, rt, cfg.Device, cfg.Cost)
+	if err != nil {
+		return fmt.Errorf("autoncs: cost: %w", err)
+	}
+	res.Placement, res.Routing, res.Report = pl, rt, rep
+	return nil
+}
+
+// Comparison holds the Table 1 style reductions of a design versus a
+// baseline, in percent (positive = the design is better).
+type Comparison struct {
+	WirelengthReduction float64
+	AreaReduction       float64
+	DelayReduction      float64
+	CostReduction       float64
+}
+
+// Compare returns the percentage reductions of res versus base. Both
+// results must carry cost reports (i.e. not compiled with SkipPhysical).
+func Compare(res, base *Result) (Comparison, error) {
+	if res == nil || base == nil || res.Report == nil || base.Report == nil {
+		return Comparison{}, fmt.Errorf("autoncs: Compare requires cost reports on both results")
+	}
+	return Comparison{
+		WirelengthReduction: cost.Reduction(res.Report.Wirelength, base.Report.Wirelength),
+		AreaReduction:       cost.Reduction(res.Report.Area, base.Report.Area),
+		DelayReduction:      cost.Reduction(res.Report.AvgDelay, base.Report.AvgDelay),
+		CostReduction:       cost.Reduction(res.Report.Cost, base.Report.Cost),
+	}, nil
+}
+
+// BuildTestbench trains, sparsifies, and returns the connection matrix of
+// one of the paper's Hopfield testbenches (deterministic in seed).
+func BuildTestbench(tb Testbench, seed int64) *Network {
+	cm, _, _ := tb.Build(seed)
+	return cm
+}

@@ -1,0 +1,146 @@
+// Command autoncs runs the AutoNCS flow on a network and prints the
+// resulting implementation and physical-design report, optionally alongside
+// the FullCro baseline.
+//
+// Usage:
+//
+//	autoncs -testbench 3            # one of the paper's Hopfield benches
+//	autoncs -n 400 -sparsity 0.94   # a random sparse network
+//	autoncs -testbench 2 -baseline  # also run and compare against FullCro
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	var (
+		tbID     = flag.Int("testbench", 0, "paper testbench id (1-3); 0 uses -n/-sparsity")
+		n        = flag.Int("n", 400, "neurons in the random network")
+		sparsity = flag.Float64("sparsity", 0.94, "sparsity of the random network")
+		seed     = flag.Int64("seed", 1, "random seed")
+		baseline = flag.Bool("baseline", false, "also run the FullCro baseline and compare")
+		skipPhys = flag.Bool("cluster-only", false, "stop after clustering (no physical design)")
+		quantile = flag.Float64("quantile", 0, "ISC partial-selection quantile (0 = paper's 0.75)")
+		loadPath = flag.String("load", "", "load the network from a file (autoncs-net format)")
+		savePath = flag.String("save", "", "save the generated network to a file before compiling")
+		dumpPath = flag.String("dump", "", "write the resulting hybrid assignment as JSON")
+	)
+	flag.Parse()
+
+	var net *autoncs.Network
+	switch {
+	case *loadPath != "":
+		var err error
+		net, err = autoncs.LoadNetwork(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Loaded network from %s\n", *loadPath)
+	case *tbID >= 1 && *tbID <= 3:
+		tb := autoncs.Testbenches()[*tbID-1]
+		fmt.Printf("Testbench %d: M=%d patterns, N=%d neurons, target sparsity %.2f%%\n",
+			tb.ID, tb.M, tb.N, 100*tb.Sparsity)
+		net = autoncs.BuildTestbench(tb, *seed)
+	case *tbID == 0:
+		fmt.Printf("Random network: N=%d, sparsity %.2f%%\n", *n, 100**sparsity)
+		net = autoncs.RandomSparseNetwork(*n, *sparsity, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "invalid -testbench %d (want 0-3)\n", *tbID)
+		os.Exit(2)
+	}
+	fmt.Printf("Network: %d neurons, %d connections, sparsity %.2f%%\n\n",
+		net.N(), net.NNZ(), 100*net.Sparsity())
+	if *savePath != "" {
+		if err := net.Save(*savePath); err != nil {
+			fmt.Fprintln(os.Stderr, "save:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Saved network to %s\n\n", *savePath)
+	}
+
+	cfg := autoncs.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.SkipPhysical = *skipPhys
+	cfg.SelectionQuantile = *quantile
+
+	res, err := autoncs.Compile(net, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autoncs:", err)
+		os.Exit(1)
+	}
+	printResult("AutoNCS", res)
+	if *dumpPath != "" {
+		if err := res.Assignment.SaveJSON(*dumpPath); err != nil {
+			fmt.Fprintln(os.Stderr, "dump:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Assignment written to %s\n\n", *dumpPath)
+	}
+
+	if *baseline {
+		full, err := autoncs.CompileFullCro(net, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fullcro:", err)
+			os.Exit(1)
+		}
+		printResult("FullCro", full)
+		if !*skipPhys {
+			cmp, err := autoncs.Compare(res, full)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "compare:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("Reductions vs FullCro: wirelength %.2f%%, area %.2f%%, delay %.2f%%, cost %.2f%%\n",
+				cmp.WirelengthReduction, cmp.AreaReduction, cmp.DelayReduction, cmp.CostReduction)
+		}
+	}
+}
+
+func printResult(name string, res *autoncs.Result) {
+	a := res.Assignment
+	fmt.Printf("== %s ==\n", name)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "crossbars\t%d\n", len(a.Crossbars))
+	fmt.Fprintf(w, "discrete synapses\t%d\n", len(a.Synapses))
+	fmt.Fprintf(w, "outlier ratio\t%.2f%%\n", 100*a.OutlierRatio())
+	fmt.Fprintf(w, "avg crossbar utilization\t%.4f\n", a.AvgUtilization())
+	fmt.Fprintf(w, "avg crossbar preference\t%.2f\n", a.AvgPreference())
+	if len(res.Trace) > 0 {
+		fmt.Fprintf(w, "ISC iterations\t%d\n", len(res.Trace))
+	}
+	if res.Report != nil {
+		fmt.Fprintf(w, "total wirelength\t%.1f µm\n", res.Report.Wirelength)
+		fmt.Fprintf(w, "placement area\t%.2f µm²\n", res.Report.Area)
+		fmt.Fprintf(w, "avg wire delay\t%.3f ns\n", res.Report.AvgDelay)
+		fmt.Fprintf(w, "cost (αL+βA+δT)\t%.1f\n", res.Report.Cost)
+	}
+	w.Flush()
+	if h := a.SizeHistogram(); len(h) > 0 {
+		fmt.Print("crossbar sizes: ")
+		for _, s := range sizesOf(h) {
+			fmt.Printf("%d×%d:%d  ", s, s, h[s])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func sizesOf(h map[int]int) []int {
+	out := make([]int, 0, len(h))
+	for s := range h {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

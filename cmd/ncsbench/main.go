@@ -1,0 +1,260 @@
+// Command ncsbench regenerates every table and figure of the paper's
+// evaluation section (DAC'15, Section 4) and prints them in a terminal
+// rendition: Figure 3 (MSC before/after), Figure 4 (GCP vs traversing),
+// Figures 5-6 (ISC iterations on the 400×400 example), Figures 7-9 (ISC
+// efficacy per testbench), Figure 10 (placement and congestion maps of
+// testbench 3), and Table 1 (wirelength/area/delay vs the FullCro
+// baseline).
+//
+// The full paper-scale run takes several minutes; -quick runs scaled-down
+// versions of everything in well under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+	"repro/internal/hopfield"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "run scaled-down versions of every experiment")
+		only  = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	n := 400
+	maxSize := 64
+	tbs := hopfield.Testbenches()
+	if *quick {
+		n = 150
+		maxSize = 32
+		for i := range tbs {
+			tbs[i].M = 6 + 2*i
+			tbs[i].N = 100 + 40*i
+			tbs[i].Sparsity = 0.93
+		}
+	}
+
+	run := func(name string, f func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig3", func() error { return figure3(n, maxSize, *seed) })
+	run("fig4", func() error { return figure4(n, maxSize, *seed) })
+	run("fig56", func() error { return figure56(n, *seed) })
+	run("fig7", func() error { return figureISC(tbs[0], 7, *seed) })
+	run("fig8", func() error { return figureISC(tbs[1], 8, *seed) })
+	run("fig9", func() error { return figureISC(tbs[2], 9, *seed) })
+	run("fig10", func() error { return figure10(tbs[2], *seed) })
+	run("table1", func() error { return table1(tbs, *seed) })
+	run("reliability", func() error { return reliability(*quick, *seed) })
+	run("fidelity", func() error { return fidelity(*quick, *seed) })
+}
+
+// fidelity verifies the implicit functional claim of Section 3 ("our
+// design maintains the topology of the original NCS"): Hopfield recall
+// executed through the compiled hybrid hardware retains software-level
+// recognition, with and without stuck-at defects repaired into synapses.
+func fidelity(quick bool, seed int64) error {
+	header("Hardware-in-the-loop recognition fidelity")
+	tb := hopfield.Testbench{ID: 1, M: 8, N: 160, Sparsity: 0.93}
+	if quick {
+		tb = hopfield.Testbench{ID: 1, M: 5, N: 80, Sparsity: 0.9}
+	}
+	fmt.Println("defects | crossbars | synapses | software rate | hardware rate")
+	for _, rate := range []float64{0, 0.02} {
+		res, err := experiments.Fidelity(tb, 0.05, rate, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %4.1f%% |   %4d    |   %4d   |     %3.0f%%      |     %3.0f%%\n",
+			100*rate, res.Crossbars, res.Synapses, 100*res.SoftwareRate, 100*res.HardwareRate)
+	}
+	return nil
+}
+
+// reliability reproduces the paper's motivating constraint (Section 2.1,
+// citing [6]): crossbar read reliability versus size under IR drop and
+// process variation, which caps the library at 64×64.
+func reliability(quick bool, seed int64) error {
+	header("Crossbar reliability vs size (the ≤64 constraint of Section 2.1)")
+	sizes := []int{16, 32, 48, 64, 80, 96}
+	trials := 10
+	if quick {
+		sizes = []int{16, 32, 48, 64}
+		trials = 4
+	}
+	sweep, err := experiments.Reliability(sizes, trials, 0.3, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("size | exact-read rate | worst IR sag | mean column count error")
+	for _, pt := range sweep.Points {
+		fmt.Printf(" %3d |      %4.2f       |    %5.1f%%    |  %.2f\n",
+			pt.Size, pt.Rate, 100*pt.WorstSag, pt.MeanColErr)
+	}
+	fmt.Printf("reliability knee: %d (the paper's library tops out at 64)\n", sweep.Knee())
+	return nil
+}
+
+func header(s string) {
+	fmt.Printf("\n================ %s ================\n", s)
+}
+
+func figure3(n, maxSize int, seed int64) error {
+	header("Figure 3 — Modified Spectral Clustering (MSC)")
+	res, err := experiments.Figure3(n, maxSize, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %d neurons, %d connections\n", res.N, res.Connections)
+	fmt.Printf("clusters: %d, outlier ratio after one MSC pass: %.1f%% (paper: 57%% on its example)\n",
+		len(res.Clusters), 100*res.OutlierRatio)
+	fmt.Println("\n(a) original connection matrix:")
+	fmt.Println(res.Before)
+	fmt.Println("(b) clustered (neurons permuted by cluster):")
+	fmt.Println(res.After)
+	return nil
+}
+
+func figure4(n, maxSize int, seed int64) error {
+	header("Figure 4 — GCP vs traversing")
+	res, err := experiments.Figure4(n, maxSize, seed)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tclusters\tmax size\twithin-cluster\ttime")
+	fmt.Fprintf(w, "GCP\t%d\t%d\t%.1f%%\t%v\n",
+		res.GCP.Clusters, res.GCP.MaxSize, 100*res.GCP.WithinRatio, res.GCP.Elapsed)
+	fmt.Fprintf(w, "traversing\t%d\t%d\t%.1f%%\t%v\n",
+		res.Traversing.Clusters, res.Traversing.MaxSize, 100*res.Traversing.WithinRatio, res.Traversing.Elapsed)
+	w.Flush()
+	speedup := float64(res.Traversing.Elapsed) / float64(res.GCP.Elapsed)
+	fmt.Printf("GCP speedup: %.2fx (paper: 190ms vs 106ms ≈ 1.8x)\n", speedup)
+	return nil
+}
+
+func figure56(n int, seed int64) error {
+	header("Figures 5 & 6 — ISC iterations (remaining network)")
+	res, err := experiments.Figure56(n, seed, true)
+	if err != nil {
+		return err
+	}
+	for _, it := range res.Iterations {
+		fmt.Printf("iteration %d: placed %d clusters (kept %d low-CP), quartile CP %.2f, outliers %.1f%%\n",
+			it.Index, it.Placed, it.Kept, it.QuartileCP, 100*it.OutlierRatio)
+	}
+	last := res.Iterations[len(res.Iterations)-1]
+	fmt.Printf("\nremaining network after iteration %d (%.1f%% outliers; paper: <5%% after 11):\n%s\n",
+		last.Index, 100*res.FinalOutlierRatio, last.RemainingView)
+	return nil
+}
+
+func figureISC(tb hopfield.Testbench, figNo int, seed int64) error {
+	header(fmt.Sprintf("Figure %d — ISC efficacy, testbench %d (M=%d, N=%d)", figNo, tb.ID, tb.M, tb.N))
+	a, err := experiments.FigureISC(tb, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("(a) outlier ratio per iteration:")
+	for i, v := range a.OutlierRatio {
+		fmt.Printf("  iter %2d: %5.1f%%  %s\n", i+1, 100*v, bar(v, 40))
+	}
+	fmt.Println("(b) normalized crossbar utilization (u/u_baseline) and avg CP per iteration:")
+	for i := range a.NormalizedUtilization {
+		fmt.Printf("  iter %2d: u/u0 %5.2f, CP %5.2f\n", i+1, a.NormalizedUtilization[i], a.AvgCP[i])
+	}
+	fmt.Println("(c) crossbar size distribution:")
+	sizes := make([]int, 0, len(a.SizeHistogram))
+	for s := range a.SizeHistogram {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	counts := make([]int, len(sizes))
+	for i, s := range sizes {
+		counts[i] = a.SizeHistogram[s]
+	}
+	fmt.Print(viz.Histogram(sizes, counts, 40))
+	fmt.Println("(d) fanin+fanout by medium:")
+	crossOnly, synOnly, both, neither := 0, 0, 0, 0
+	for _, f := range a.Fans {
+		switch {
+		case f.Crossbar > 0 && f.Synapse > 0:
+			both++
+		case f.Crossbar > 0:
+			crossOnly++
+		case f.Synapse > 0:
+			synOnly++
+		default:
+			neither++
+		}
+	}
+	fmt.Printf("  neurons on crossbars only: %d, synapses only: %d, both: %d, unconnected: %d\n",
+		crossOnly, synOnly, both, neither)
+	fmt.Printf("  avg total fanin+fanout vs baseline: %.0f%% (paper: ≈80%%)\n", 100*a.AvgSumRatio)
+	fmt.Printf("summary: %d iterations, final outliers %.1f%% \n", a.Iterations, 100*a.FinalOutliers)
+	return nil
+}
+
+func bar(v float64, width int) string {
+	n := int(v * float64(width))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+func figure10(tb hopfield.Testbench, seed int64) error {
+	header("Figure 10 — placement & routing of testbench 3")
+	res, err := experiments.Figure10(tb, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("(a) FullCro placement (area %.0f µm²):\n%s\n", res.FullCroArea, res.FullCroLayout)
+	fmt.Printf("(b) FullCro congestion (peak %d wires/bin, %d capacity relaxations):\n%s\n",
+		res.FullCroPeakUsage, res.FullCroRelaxations, res.FullCroCongestion)
+	fmt.Printf("(c) AutoNCS placement (area %.0f µm²):\n%s\n", res.AutoNCSArea, res.AutoNCSLayout)
+	fmt.Printf("(d) AutoNCS congestion (peak %d wires/bin, %d capacity relaxations):\n%s\n",
+		res.AutoNCSPeakUsage, res.AutoNCSRelaxations, res.AutoNCSCongestion)
+	fmt.Printf("wirelength: AutoNCS %.0f µm vs FullCro %.0f µm\n", res.AutoNCSWirelength, res.FullCroWirelength)
+	return nil
+}
+
+func table1(tbs []hopfield.Testbench, seed int64) error {
+	header("Table 1 — physical design cost evaluation")
+	res, err := experiments.Table1(tbs, seed)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "testbench\t\ttotal wirelength (µm)\tarea (µm²)\tdelay (ns)")
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%d\tAutoNCS\t%.1f\t%.2f\t%.2f\n",
+			row.Testbench.ID, row.AutoNCS.Wirelength, row.AutoNCS.Area, row.AutoNCS.AvgDelay)
+		fmt.Fprintf(w, "\tFullCro\t%.1f\t%.2f\t%.2f\n",
+			row.FullCro.Wirelength, row.FullCro.Area, row.FullCro.AvgDelay)
+		fmt.Fprintf(w, "\tReduc. (%%)\t%.2f%%\t%.2f%%\t%.2f%%\n",
+			row.Reductions.Wirelength, row.Reductions.Area, row.Reductions.Delay)
+	}
+	w.Flush()
+	fmt.Printf("\naverage reductions: wirelength %.2f%%, area %.2f%%, delay %.2f%%\n",
+		res.Avg.Wirelength, res.Avg.Area, res.Avg.Delay)
+	fmt.Println("paper:              wirelength 47.80%, area 31.97%, delay 47.18%")
+	return nil
+}

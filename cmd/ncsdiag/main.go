@@ -1,0 +1,88 @@
+// Command ncsdiag prints stage-by-stage placement quality diagnostics for
+// the AutoNCS and FullCro designs of a testbench: initial-grid HPWL,
+// post-optimization HPWL, routed wirelength, congestion, and per-design
+// netlist statistics. It exists to tune the physical-design parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hopfield"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/xbar"
+)
+
+func main() {
+	var (
+		tbID    = flag.Int("testbench", 1, "paper testbench id (1-3)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		cgIters = flag.Int("cg", 120, "CG iterations per lambda round")
+		outer   = flag.Int("outer", 10, "max lambda rounds")
+		omega   = flag.Float64("omega", 1.6, "virtual width factor")
+		gamma   = flag.Float64("gamma", 2.0, "WA smoothing")
+	)
+	flag.Parse()
+	tb := hopfield.Testbenches()[*tbID-1]
+	cm, _, _ := tb.Build(*seed)
+	fmt.Printf("testbench %d: %d neurons, %d connections\n", tb.ID, cm.N(), cm.NNZ())
+
+	lib := xbar.DefaultLibrary()
+	dev := xbar.Default45nm()
+	full := xbar.FullCro(cm, lib)
+	iscRes, err := core.ISC(cm, core.ISCOptions{
+		Library:              lib,
+		UtilizationThreshold: full.AvgUtilization(),
+		Rand:                 rand.New(rand.NewSource(*seed)),
+	})
+	check(err)
+
+	opts := place.DefaultOptions()
+	opts.CGIterations = *cgIters
+	opts.MaxOuter = *outer
+	opts.Omega = *omega
+	opts.Gamma = *gamma
+
+	for _, d := range []struct {
+		name string
+		a    *xbar.Assignment
+	}{{"AutoNCS", iscRes.Assignment}, {"FullCro", full}} {
+		nl, err := netlist.Build(d.a, dev)
+		check(err)
+		wiresPerNeuron := float64(len(nl.Wires)) / float64(len(nl.NeuronCell))
+		fmt.Printf("\n== %s: %d cells, %d wires (%.1f per neuron)\n",
+			d.name, len(nl.Cells), len(nl.Wires), wiresPerNeuron)
+		pl, err := place.Place(nl, opts)
+		check(err)
+		fmt.Printf("  placement: HPWL initial %.0f → global %.0f → legalized %.0f; area %.0f µm² (%.0f×%.0f), outer rounds %d\n",
+			pl.InitialHPWL, pl.GlobalHPWL, pl.HPWL, pl.Area(), pl.Width(), pl.Height(), pl.Outer)
+		unweighted := 0.0
+		for _, w := range nl.Wires {
+			unweighted += abs(pl.X[w.From]-pl.X[w.To]) + abs(pl.Y[w.From]-pl.Y[w.To])
+		}
+		fmt.Printf("  unweighted HPWL %.0f (avg %.1f µm/wire)\n", unweighted, unweighted/float64(len(nl.Wires)))
+		rt, err := route.Route(nl, pl, route.DefaultOptions())
+		check(err)
+		fmt.Printf("  routed: total %.0f µm (avg %.1f), relaxations %d, peak bin usage %d\n",
+			rt.Total, rt.Total/float64(len(nl.Wires)), rt.Relaxations, rt.MaxUsage())
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Command ncsfig renders the paper's figures as PNG images: the Figure 3
+// connection matrices (before/after clustering) and the Figure 10 placement
+// and congestion maps of a testbench under FullCro and AutoNCS.
+//
+//	ncsfig -out figures          # testbench 3 at paper scale (minutes)
+//	ncsfig -out figures -quick   # scaled down (seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/hopfield"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/viz"
+	"repro/internal/xbar"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "figures", "output directory")
+		quick = flag.Bool("quick", false, "scaled-down run")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	tb := hopfield.Testbenches()[2]
+	n := 400
+	if *quick {
+		tb = hopfield.Testbench{ID: 3, M: 8, N: 160, Sparsity: 0.93}
+		n = 160
+	}
+
+	// Figure 3: connection matrix before/after one clustering pass.
+	cm3 := hopfield.Testbench{M: n / 16, N: n, Sparsity: 0.94}
+	net3, _, _ := cm3.Build(*seed)
+	clusters, err := core.GCP(net3, 64, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fatal(err)
+	}
+	perm := core.PermutationByClusters(n, clusters)
+	write(*out, "fig3a_original.png", viz.MatrixPNG(net3, nil, 400))
+	write(*out, "fig3b_clustered.png", viz.MatrixPNG(net3, perm, 400))
+
+	// Figure 10: placement and congestion, FullCro vs AutoNCS.
+	cm, _, _ := tb.Build(*seed)
+	lib := xbar.DefaultLibrary()
+	dev := xbar.Default45nm()
+	full := xbar.FullCro(cm, lib)
+	iscRes, err := core.ISC(cm, core.ISCOptions{
+		Library:              lib,
+		UtilizationThreshold: full.AvgUtilization(),
+		Rand:                 rand.New(rand.NewSource(*seed)),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range []struct {
+		name string
+		a    *xbar.Assignment
+	}{{"fullcro", full}, {"autoncs", iscRes.Assignment}} {
+		nl, err := netlist.Build(d.a, dev)
+		if err != nil {
+			fatal(err)
+		}
+		pl, err := place.Place(nl, place.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		rt, err := route.Route(nl, pl, route.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, "fig10_"+d.name+"_layout.png", viz.LayoutPNG(nl, pl, 4))
+		write(*out, "fig10_"+d.name+"_congestion.png", viz.CongestionPNG(rt))
+		fmt.Printf("%s: area %.0f µm², wirelength %.0f µm, peak congestion %d\n",
+			d.name, pl.Area(), rt.Total, rt.MaxUsage())
+	}
+	fmt.Println("figures written to", *out)
+}
+
+func write(dir, name string, img image.Image) {
+	path := filepath.Join(dir, name)
+	if err := viz.WritePNG(path, img); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ncsfig:", err)
+	os.Exit(1)
+}

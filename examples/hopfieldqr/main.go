@@ -1,0 +1,53 @@
+// Hopfield QR-code scenario: the paper's testbench workload end to end.
+// Random QR-like patterns are stored in a Hopfield network, the weights are
+// sparsified by magnitude, recognition is verified under noise, and the
+// resulting sparse topology is compiled to the hybrid crossbar substrate.
+//
+//	go run ./examples/hopfieldqr
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// A scaled-down testbench (the paper's testbench 1 uses M=15, N=300;
+	// this runs in seconds rather than minutes).
+	tb := autoncs.Testbench{ID: 1, M: 10, N: 200, Sparsity: 0.94}
+	cm, net, patterns := tb.Build(7)
+
+	fmt.Printf("stored %d patterns of dimension %d; sparsified to %.2f%% sparsity\n",
+		tb.M, tb.N, 100*cm.Sparsity())
+
+	// The paper requires >90% recognition on its testbenches.
+	rate := net.RecognitionRate(patterns, 0.05, 0.95, rand.New(rand.NewSource(1)))
+	fmt.Printf("recognition rate at 5%% noise: %.0f%% (paper requires >90%%)\n", 100*rate)
+
+	// Show one noisy recall round trip.
+	noisy := autoncs.Corrupt(patterns[0], 0.08, rand.New(rand.NewSource(2)))
+	recalled := net.Recall(noisy, 50)
+	fmt.Printf("pattern 0: corrupted to %.0f%% overlap, recalled to %.0f%% overlap\n",
+		100*autoncs.Overlap(noisy, patterns[0]), 100*autoncs.Overlap(recalled, patterns[0]))
+
+	// Compile the sparse topology onto the memristor substrate.
+	cfg := autoncs.DefaultConfig()
+	res, err := autoncs.Compile(cm, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhybrid implementation: %d crossbars, %d discrete synapses\n",
+		len(res.Assignment.Crossbars), len(res.Assignment.Synapses))
+	hist := res.Assignment.SizeHistogram()
+	fmt.Print("crossbar sizes: ")
+	for s := 16; s <= 64; s += 4 {
+		if c := hist[s]; c > 0 {
+			fmt.Printf("%d×%d:%d ", s, s, c)
+		}
+	}
+	fmt.Printf("\nwirelength %.0f µm, area %.0f µm², avg delay %.2f ns\n",
+		res.Report.Wirelength, res.Report.Area, res.Report.AvgDelay)
+}

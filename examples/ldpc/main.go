@@ -1,0 +1,78 @@
+// LDPC scenario: the paper's introduction motivates AutoNCS with the
+// neural network used for LDPC decoding in IEEE 802.11, whose message-
+// passing topology is more than 99% sparse. This example builds an
+// 802.11n-style quasi-cyclic parity-check bipartite network, maps variable
+// and check nodes to neurons, and compiles the resulting (extremely sparse,
+// highly structured) connection matrix to the hybrid substrate.
+//
+//	go run ./examples/ldpc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+// quasiCyclicLDPC builds the Tanner graph of a quasi-cyclic LDPC code:
+// blockRows×blockCols circulant blocks of size z, each either empty or a
+// cyclically shifted identity, as in the 802.11n code family. Variable
+// nodes are neurons [0, n) and check nodes [n, n+m); every parity-check
+// edge becomes a bidirectional message-passing connection.
+func quasiCyclicLDPC(blockRows, blockCols, z int, rng *rand.Rand) *autoncs.Network {
+	n := blockCols * z // variable nodes
+	m := blockRows * z // check nodes
+	net := autoncs.NewNetwork(n + m)
+	for br := 0; br < blockRows; br++ {
+		for bc := 0; bc < blockCols; bc++ {
+			// ~half the blocks are used, as in the 802.11n base matrices.
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			shift := rng.Intn(z)
+			for i := 0; i < z; i++ {
+				vn := bc*z + (i+shift)%z
+				cn := n + br*z + i
+				net.Set(vn, cn) // variable → check message
+				net.Set(cn, vn) // check → variable message
+			}
+		}
+	}
+	return net
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(802))
+	// 802.11n-flavoured dimensions, scaled for a quick run: rate-1/2 base
+	// matrix of 6×12 circulant blocks with Z=27 (the standard's smallest).
+	net := quasiCyclicLDPC(6, 12, 27, rng)
+	fmt.Printf("LDPC message-passing network: %d neurons (%d variable + %d check), %d connections\n",
+		net.N(), 12*27, 6*27, net.NNZ())
+	fmt.Printf("sparsity: %.2f%% (the paper quotes >99%% for LDPC in 802.11)\n", 100*net.Sparsity())
+
+	cfg := autoncs.DefaultConfig()
+	res, err := autoncs.Compile(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := res.Assignment
+	fmt.Printf("\nhybrid mapping: %d crossbars + %d discrete synapses (%.1f%% outliers)\n",
+		len(a.Crossbars), len(a.Synapses), 100*a.OutlierRatio())
+	fmt.Printf("avg crossbar utilization %.3f over %d ISC iterations\n",
+		a.AvgUtilization(), len(res.Trace))
+
+	base, err := autoncs.CompileFullCro(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cmp, err := autoncs.Compare(res, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvs FullCro: wirelength %.1f%%, area %.1f%%, delay %.1f%% reductions\n",
+		cmp.WirelengthReduction, cmp.AreaReduction, cmp.DelayReduction)
+	fmt.Println("\nAt >99% sparsity the crossbar baseline is hugely wasteful — exactly the")
+	fmt.Println("regime where the hybrid crossbar+synapse mapping pays off most.")
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/xbar"
+)
+
+// clusteredNet builds a network of nBlocks dense blocks of blockSize
+// neurons with sparse inter-block noise — ground truth for cluster
+// recovery tests.
+func clusteredNet(nBlocks, blockSize int, seed int64) *graph.Conn {
+	rng := rand.New(rand.NewSource(seed))
+	return graph.RandomClustered(nBlocks*blockSize, blockSize, 0.85, 0.005, rng)
+}
+
+// isPartitionOfActive verifies clusters are disjoint and cover exactly the
+// active neurons of w.
+func isPartitionOfActive(t *testing.T, w *graph.Conn, clusters []Cluster) {
+	t.Helper()
+	seen := map[int]bool{}
+	for _, cl := range clusters {
+		if len(cl) == 0 {
+			t.Fatal("empty cluster returned")
+		}
+		for _, v := range cl {
+			if seen[v] {
+				t.Fatalf("neuron %d in two clusters", v)
+			}
+			seen[v] = true
+		}
+	}
+	for _, a := range w.Symmetrized().ActiveNeurons() {
+		if !seen[a] {
+			t.Fatalf("active neuron %d not clustered", a)
+		}
+	}
+	if len(seen) != len(w.Symmetrized().ActiveNeurons()) {
+		t.Fatalf("clustered %d neurons, active %d", len(seen), len(w.Symmetrized().ActiveNeurons()))
+	}
+}
+
+func TestMSCRecoversBlocks(t *testing.T) {
+	w := clusteredNet(4, 15, 1)
+	clusters, err := MSC(w, 4, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPartitionOfActive(t, w, clusters)
+	if len(clusters) != 4 {
+		t.Fatalf("got %d clusters, want 4", len(clusters))
+	}
+	// Each cluster must be dominated by one true block.
+	for _, cl := range clusters {
+		counts := map[int]int{}
+		for _, v := range cl {
+			counts[v/15]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		if float64(best) < 0.9*float64(len(cl)) {
+			t.Fatalf("cluster mixes blocks: %v", counts)
+		}
+	}
+}
+
+func TestMSCWithinVsBetween(t *testing.T) {
+	// The defining goal of MSC: maximize within-cluster connections.
+	w := clusteredNet(3, 20, 3)
+	clusters, err := MSC(w, 3, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := 0
+	for _, cl := range clusters {
+		within += w.CountWithin(cl)
+	}
+	if ratio := float64(within) / float64(w.NNZ()); ratio < 0.8 {
+		t.Fatalf("only %.0f%% of connections within clusters", 100*ratio)
+	}
+}
+
+func TestMSCIgnoresIsolatedNeurons(t *testing.T) {
+	w := graph.NewConn(10)
+	w.Set(0, 1)
+	w.Set(1, 0)
+	clusters, err := MSC(w, 1, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 || len(clusters[0]) != 2 {
+		t.Fatalf("clusters = %v, want [[0 1]]", clusters)
+	}
+}
+
+func TestMSCEmptyNetwork(t *testing.T) {
+	clusters, err := MSC(graph.NewConn(5), 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 0 {
+		t.Fatalf("clusters of empty network = %v", clusters)
+	}
+}
+
+func TestMSCInvalidKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MSC(k=0) did not panic")
+		}
+	}()
+	MSC(graph.NewConn(3), 0, rand.New(rand.NewSource(1)))
+}
+
+func TestMSCDirectedInputIsSymmetrized(t *testing.T) {
+	w := graph.NewConn(6)
+	w.Set(0, 1) // one-way connections only
+	w.Set(1, 2)
+	w.Set(3, 4)
+	w.Set(4, 5)
+	clusters, err := MSC(w, 2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPartitionOfActive(t, w, clusters)
+}
+
+func TestGCPBoundsClusterSize(t *testing.T) {
+	w := clusteredNet(2, 40, 6) // blocks of 40 > maxSize 25
+	clusters, err := GCP(w, 25, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPartitionOfActive(t, w, clusters)
+	for _, cl := range clusters {
+		if len(cl) > 25 {
+			t.Fatalf("cluster of size %d exceeds bound 25", len(cl))
+		}
+	}
+}
+
+func TestGCPSmallNetworkSingleCluster(t *testing.T) {
+	w := clusteredNet(1, 10, 8)
+	clusters, err := GCP(w, 64, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) != 1 {
+		t.Fatalf("got %d clusters, want 1", len(clusters))
+	}
+}
+
+func TestGCPInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GCP(maxSize=0) did not panic")
+		}
+	}()
+	GCP(graph.NewConn(3), 0, rand.New(rand.NewSource(1)))
+}
+
+func TestGCPSizeBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		w := graph.RandomSparse(n, 0.85+0.13*rng.Float64(), rng)
+		maxSize := 8 + rng.Intn(24)
+		clusters, err := GCP(w, maxSize, rng)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, cl := range clusters {
+			if len(cl) == 0 || len(cl) > maxSize {
+				return false
+			}
+			for _, v := range cl {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraversingMatchesGCPQuality(t *testing.T) {
+	w := clusteredNet(3, 30, 10)
+	maxSize := 20
+	g, err := GCP(w, maxSize, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Traversing(w, maxSize, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range tr {
+		if len(cl) > maxSize {
+			t.Fatalf("traversing cluster size %d exceeds bound", len(cl))
+		}
+	}
+	isPartitionOfActive(t, w, tr)
+	// Both must capture a comparable share of within-cluster connections.
+	within := func(cls []Cluster) float64 {
+		s := 0
+		for _, cl := range cls {
+			s += w.CountWithin(cl)
+		}
+		return float64(s) / float64(w.NNZ())
+	}
+	wg, wt := within(g), within(tr)
+	if math.Abs(wg-wt) > 0.35 {
+		t.Fatalf("GCP captures %.2f, traversing %.2f — too far apart", wg, wt)
+	}
+}
+
+func TestTraversingEmptyNetwork(t *testing.T) {
+	clusters, err := Traversing(graph.NewConn(4), 16, rand.New(rand.NewSource(1)))
+	if err != nil || clusters != nil {
+		t.Fatalf("clusters=%v err=%v", clusters, err)
+	}
+}
+
+func defaultOpts(seed int64) ISCOptions {
+	return ISCOptions{
+		Library:              mustLibrary(16, 20, 24, 28, 32),
+		UtilizationThreshold: 0.05,
+		Rand:                 rand.New(rand.NewSource(seed)),
+	}
+}
+
+func mustLibrary(sizes ...int) xbar.Library {
+	l, err := xbar.NewLibrary(sizes...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func TestISCProducesValidAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w := graph.RandomSparse(120, 0.93, rng)
+	res, err := ISC(w, defaultOpts(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(w); err != nil {
+		t.Fatalf("ISC assignment invalid: %v", err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("empty ISC trace")
+	}
+}
+
+func TestISCClusteredNetworkLowOutliers(t *testing.T) {
+	w := clusteredNet(5, 20, 14) // blocks fit in 20..32 crossbars
+	opts := defaultOpts(15)
+	res, err := ISC(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	if r := res.Assignment.OutlierRatio(); r > 0.35 {
+		t.Fatalf("outlier ratio %.2f on a block-structured network", r)
+	}
+	// Crossbar sizes always come from the library.
+	allowed := map[int]bool{}
+	for _, s := range opts.Library.Sizes() {
+		allowed[s] = true
+	}
+	for _, c := range res.Assignment.Crossbars {
+		if !allowed[c.Size] {
+			t.Fatalf("crossbar size %d not in library", c.Size)
+		}
+		if len(c.Inputs) > c.Size {
+			t.Fatalf("cluster of %d in crossbar of %d", len(c.Inputs), c.Size)
+		}
+	}
+}
+
+func TestISCOutlierRatioMonotone(t *testing.T) {
+	w := clusteredNet(4, 25, 16)
+	res, err := ISC(w, defaultOpts(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1.0
+	for _, it := range res.Trace {
+		if it.OutlierRatio > prev+1e-12 {
+			t.Fatalf("outlier ratio increased: %g → %g at iteration %d", prev, it.OutlierRatio, it.Index)
+		}
+		prev = it.OutlierRatio
+	}
+}
+
+func TestISCEmptyNetwork(t *testing.T) {
+	res, err := ISC(graph.NewConn(10), defaultOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignment.Crossbars) != 0 || len(res.Assignment.Synapses) != 0 {
+		t.Fatal("empty network produced hardware")
+	}
+}
+
+func TestISCOptionValidation(t *testing.T) {
+	w := graph.NewConn(4)
+	cases := map[string]ISCOptions{
+		"no library":    {Rand: rand.New(rand.NewSource(1))},
+		"no rand":       {Library: mustLibrary(16)},
+		"bad threshold": {Library: mustLibrary(16), Rand: rand.New(rand.NewSource(1)), UtilizationThreshold: 2},
+		"bad quantile":  {Library: mustLibrary(16), Rand: rand.New(rand.NewSource(1)), SelectionQuantile: 1.5},
+	}
+	for name, opts := range cases {
+		if _, err := ISC(w, opts); err == nil {
+			t.Errorf("%s: ISC accepted invalid options", name)
+		}
+	}
+}
+
+func TestISCPartialSelectionSelectsTopQuartile(t *testing.T) {
+	w := clusteredNet(8, 15, 18)
+	res, err := ISC(w, defaultOpts(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range res.Trace {
+		for _, cs := range it.Clusters {
+			if cs.Selected && cs.Preference < it.QuartileCP {
+				t.Fatalf("iteration %d selected cluster below quartile: %g < %g",
+					it.Index, cs.Preference, it.QuartileCP)
+			}
+			if !cs.Selected && cs.FitSize > 0 && cs.Preference > it.QuartileCP {
+				// Permitted only if the iteration broke before selecting.
+				if it.Placed > 0 {
+					t.Fatalf("iteration %d skipped cluster above quartile", it.Index)
+				}
+			}
+		}
+	}
+}
+
+func TestISCDisabledPartialSelection(t *testing.T) {
+	// With SelectionQuantile < 0 every cluster with connections is taken
+	// each round, so the flow finishes in fewer iterations.
+	w := clusteredNet(6, 18, 20)
+	all := defaultOpts(21)
+	all.SelectionQuantile = -1
+	resAll, err := ISC(w, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := defaultOpts(21)
+	resPartial, err := ISC(w, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resAll.Assignment.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+	if len(resAll.Trace) > len(resPartial.Trace) {
+		t.Fatalf("all-selection took %d iterations, partial %d — expected fewer or equal",
+			len(resAll.Trace), len(resPartial.Trace))
+	}
+}
+
+func TestISCDeterminism(t *testing.T) {
+	w := clusteredNet(4, 20, 22)
+	a, err := ISC(w, defaultOpts(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ISC(w, defaultOpts(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Assignment.Crossbars) != len(b.Assignment.Crossbars) ||
+		len(a.Assignment.Synapses) != len(b.Assignment.Synapses) {
+		t.Fatal("same seed produced different assignments")
+	}
+}
+
+func TestISCValidAssignmentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(70)
+		w := graph.RandomSparse(n, 0.88+0.1*rng.Float64(), rng)
+		res, err := ISC(w, defaultOpts(seed+1))
+		if err != nil {
+			return false
+		}
+		return res.Assignment.Validate(w) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCPLargeNetworkLanczosPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-network test")
+	}
+	// 800 active neurons exceeds the dense cutoff, so this exercises the
+	// sparse Lanczos embedding end to end.
+	rng := rand.New(rand.NewSource(31))
+	w := graph.RandomClustered(800, 50, 0.25, 0.001, rng)
+	clusters, err := GCP(w, 64, rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	isPartitionOfActive(t, w, clusters)
+	for _, cl := range clusters {
+		if len(cl) > 64 {
+			t.Fatalf("cluster of %d exceeds the bound", len(cl))
+		}
+	}
+	// The block structure must still be recoverable: most connections
+	// within clusters.
+	within := 0
+	for _, cl := range clusters {
+		within += w.CountWithin(cl)
+	}
+	if ratio := float64(within) / float64(w.NNZ()); ratio < 0.5 {
+		t.Fatalf("only %.0f%% of connections within clusters on a block network", 100*ratio)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if q := quantile(xs, 0.75); q != 3 {
+		t.Errorf("quantile(0.75) = %g, want 3", q)
+	}
+	if q := quantile(xs, 1); q != 4 {
+		t.Errorf("quantile(1) = %g, want 4", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("quantile(empty) = %g, want 0", q)
+	}
+	if q := quantile([]float64{7}, 0.75); q != 7 {
+		t.Errorf("quantile singleton = %g, want 7", q)
+	}
+}
+
+func TestPermutationByClusters(t *testing.T) {
+	perm := PermutationByClusters(6, []Cluster{{4, 2}, {0}})
+	want := []int{4, 2, 0, 1, 3, 5}
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+}
+
+func TestPermutationByClustersPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"dup":   func() { PermutationByClusters(4, []Cluster{{1}, {1}}) },
+		"range": func() { PermutationByClusters(4, []Cluster{{9}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,81 @@
+// Package cost evaluates the physical cost of a placed-and-routed design
+// following Eq. 3 of the paper: Cost = α·L + β·A + δ·T, where L is the
+// total routed wirelength, A the placement area, and T the average wire
+// delay. Per-wire delay combines the Elmore RC delay of the routed wire
+// with the intrinsic delay of the device (crossbar or synapse) the wire
+// attaches to.
+package cost
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/xbar"
+)
+
+// Params are the user-defined weights of Eq. 3. The paper's experiments set
+// all three to 1.
+type Params struct {
+	Alpha float64 // wirelength weight
+	Beta  float64 // area weight
+	Delta float64 // delay weight
+}
+
+// DefaultParams returns α = β = δ = 1 (Section 4.3).
+func DefaultParams() Params { return Params{Alpha: 1, Beta: 1, Delta: 1} }
+
+// Report is the evaluated physical cost of one design.
+type Report struct {
+	Wirelength float64 // L: total routed wirelength, µm
+	Area       float64 // A: placement bounding-box area, µm²
+	AvgDelay   float64 // T: average wire delay, ns
+	MaxDelay   float64 // worst single-wire delay, ns
+	Cost       float64 // α·L + β·A + δ·T
+	Wires      int     // number of wires evaluated
+}
+
+// Evaluate computes the report for a routed design. The wire delay model:
+// every wire connects a neuron to a device cell (crossbar or discrete
+// synapse); its delay is the device's intrinsic delay plus the Elmore delay
+// of the routed wire length.
+func Evaluate(nl *netlist.Netlist, pl *place.Result, rt *route.Result,
+	dev xbar.DeviceModel, p Params) (*Report, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rt.WireLength) != len(nl.Wires) {
+		return nil, fmt.Errorf("cost: routing covers %d wires, netlist has %d",
+			len(rt.WireLength), len(nl.Wires))
+	}
+	r := &Report{
+		Wirelength: rt.Total,
+		Area:       pl.Area(),
+		Wires:      len(nl.Wires),
+	}
+	sum := 0.0
+	for _, w := range nl.Wires {
+		d := dev.WireDelay(rt.WireLength[w.ID])
+		// Device intrinsic delay: the non-neuron endpoint.
+		d += nl.Cells[w.From].Delay + nl.Cells[w.To].Delay
+		sum += d
+		if d > r.MaxDelay {
+			r.MaxDelay = d
+		}
+	}
+	if r.Wires > 0 {
+		r.AvgDelay = sum / float64(r.Wires)
+	}
+	r.Cost = p.Alpha*r.Wirelength + p.Beta*r.Area + p.Delta*r.AvgDelay
+	return r, nil
+}
+
+// Reduction returns the percent reduction of v versus baseline:
+// 100·(baseline−v)/baseline. A zero baseline yields 0.
+func Reduction(v, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * (baseline - v) / baseline
+}

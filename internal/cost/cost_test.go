@@ -1,0 +1,130 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/xbar"
+)
+
+// routedDesign produces a small placed-and-routed design for evaluation.
+func routedDesign(t *testing.T, seed int64) (*netlist.Netlist, *place.Result, *route.Result, xbar.DeviceModel) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cm := graph.RandomSparse(50, 0.9, rng)
+	a := xbar.FullCro(cm, xbar.DefaultLibrary())
+	dev := xbar.Default45nm()
+	nl, err := netlist.Build(a, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(nl, place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := route.Route(nl, pl, route.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, pl, rt, dev
+}
+
+func TestEvaluateBasic(t *testing.T) {
+	nl, pl, rt, dev := routedDesign(t, 1)
+	r, err := Evaluate(nl, pl, rt, dev, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Wirelength != rt.Total {
+		t.Errorf("L = %g, want routed total %g", r.Wirelength, rt.Total)
+	}
+	if r.Area != pl.Area() {
+		t.Errorf("A = %g, want placement area %g", r.Area, pl.Area())
+	}
+	if r.AvgDelay <= 0 || r.MaxDelay < r.AvgDelay {
+		t.Errorf("delays implausible: avg %g max %g", r.AvgDelay, r.MaxDelay)
+	}
+	want := r.Wirelength + r.Area + r.AvgDelay
+	if math.Abs(r.Cost-want) > 1e-9 {
+		t.Errorf("Cost = %g, want %g", r.Cost, want)
+	}
+	if r.Wires != len(nl.Wires) {
+		t.Errorf("Wires = %d, want %d", r.Wires, len(nl.Wires))
+	}
+}
+
+func TestEvaluateParamsScaleComponents(t *testing.T) {
+	nl, pl, rt, dev := routedDesign(t, 2)
+	base, err := Evaluate(nl, pl, rt, dev, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := Evaluate(nl, pl, rt, dev, Params{Alpha: 2, Beta: 0, Delta: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled.Cost-2*base.Wirelength) > 1e-9 {
+		t.Errorf("α-only cost = %g, want %g", scaled.Cost, 2*base.Wirelength)
+	}
+}
+
+func TestEvaluateDelayDominatedByCrossbars(t *testing.T) {
+	// All FullCro crossbars are size 64 → every crossbar wire carries
+	// ~1.95 ns of device delay; wire RC adds little. The average must sit
+	// near 1.95.
+	nl, pl, rt, dev := routedDesign(t, 3)
+	r, err := Evaluate(nl, pl, rt, dev, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgDelay < 1.5 || r.AvgDelay > 2.5 {
+		t.Errorf("FullCro avg delay %g, want ≈1.95", r.AvgDelay)
+	}
+}
+
+func TestEvaluateMismatchedRouting(t *testing.T) {
+	nl, pl, rt, dev := routedDesign(t, 4)
+	bad := *rt
+	bad.WireLength = bad.WireLength[:len(bad.WireLength)-1]
+	if _, err := Evaluate(nl, pl, &bad, dev, DefaultParams()); err == nil {
+		t.Fatal("mismatched wire count accepted")
+	}
+}
+
+func TestEvaluateBadDevice(t *testing.T) {
+	nl, pl, rt, dev := routedDesign(t, 5)
+	dev.SynapseDelay = -1
+	if _, err := Evaluate(nl, pl, rt, dev, DefaultParams()); err == nil {
+		t.Fatal("invalid device model accepted")
+	}
+}
+
+func TestEvaluateEmptyDesign(t *testing.T) {
+	nl := &netlist.Netlist{}
+	pl := &place.Result{}
+	rt := &route.Result{}
+	r, err := Evaluate(nl, pl, rt, xbar.Default45nm(), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgDelay != 0 || r.Wirelength != 0 {
+		t.Fatal("empty design has non-zero metrics")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(50, 100); got != 50 {
+		t.Errorf("Reduction(50,100) = %g, want 50", got)
+	}
+	if got := Reduction(150, 100); got != -50 {
+		t.Errorf("Reduction(150,100) = %g, want -50", got)
+	}
+	if got := Reduction(1, 0); got != 0 {
+		t.Errorf("Reduction with zero baseline = %g, want 0", got)
+	}
+}

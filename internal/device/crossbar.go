@@ -1,0 +1,317 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// CrossbarParams describes the circuit-level crossbar model.
+type CrossbarParams struct {
+	// Device is the memristor technology.
+	Device MemristorParams
+	// RWire is the resistance of one wire segment between adjacent cells
+	// (Ω), the source of IR drop.
+	RWire float64
+	// VRead is the read voltage applied to selected rows.
+	VRead float64
+	// Tol and MaxSweeps control the nodal solver.
+	Tol       float64
+	MaxSweeps int
+}
+
+// DefaultCrossbarParams returns the calibrated 45 nm crossbar model. RWire
+// is set so that the reliability knee of CountReadReliability lands near
+// the paper's 64×64 limit (Section 2.1, citing Liang & Wong).
+func DefaultCrossbarParams() CrossbarParams {
+	return CrossbarParams{
+		Device:    DefaultParams(),
+		RWire:     0.7,
+		VRead:     1.0,
+		Tol:       1e-9,
+		MaxSweeps: 20000,
+	}
+}
+
+// Validate reports whether the parameters are sensible.
+func (p CrossbarParams) Validate() error {
+	if err := p.Device.Validate(); err != nil {
+		return err
+	}
+	if p.RWire < 0 {
+		return fmt.Errorf("device: wire resistance %g must be ≥ 0", p.RWire)
+	}
+	if p.VRead <= 0 {
+		return fmt.Errorf("device: read voltage %g must be positive", p.VRead)
+	}
+	if p.Tol <= 0 || p.MaxSweeps <= 0 {
+		return fmt.Errorf("device: solver parameters out of range")
+	}
+	return nil
+}
+
+// Crossbar is an s×s memristor array with explicit wire parasitics.
+type Crossbar struct {
+	params CrossbarParams
+	s      int
+	cells  [][]*Memristor // [row][col]
+}
+
+// NewCrossbar builds an s×s crossbar with per-device process variation
+// drawn from rng. All devices start in the off state.
+func NewCrossbar(s int, p CrossbarParams, rng *rand.Rand) (*Crossbar, error) {
+	if s <= 0 {
+		return nil, fmt.Errorf("device: crossbar size %d must be positive", s)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cb := &Crossbar{params: p, s: s, cells: make([][]*Memristor, s)}
+	for i := range cb.cells {
+		cb.cells[i] = make([]*Memristor, s)
+		for j := range cb.cells[i] {
+			m, err := NewMemristor(p.Device, rng)
+			if err != nil {
+				return nil, err
+			}
+			cb.cells[i][j] = m
+		}
+	}
+	return cb, nil
+}
+
+// Size returns the crossbar dimension.
+func (cb *Crossbar) Size() int { return cb.s }
+
+// Cell returns the device at (row, col).
+func (cb *Crossbar) Cell(row, col int) *Memristor {
+	if row < 0 || row >= cb.s || col < 0 || col >= cb.s {
+		panic(fmt.Sprintf("device: cell (%d,%d) out of %d×%d crossbar", row, col, cb.s, cb.s))
+	}
+	return cb.cells[row][col]
+}
+
+// ProgramPattern write-verifies a binary pattern into the array: true cells
+// to the on state, false to off. It returns the total pulse count and the
+// number of cells that failed to converge.
+func (cb *Crossbar) ProgramPattern(pattern [][]bool, tol float64, maxPulses int) (pulses, failures int) {
+	if len(pattern) != cb.s {
+		panic(fmt.Sprintf("device: pattern of %d rows for a %d×%d crossbar", len(pattern), cb.s, cb.s))
+	}
+	for i, row := range pattern {
+		if len(row) != cb.s {
+			panic(fmt.Sprintf("device: pattern row %d has %d cols, want %d", i, len(row), cb.s))
+		}
+		for j, on := range row {
+			target := 0.0
+			if on {
+				target = 1.0
+			}
+			p, ok := cb.cells[i][j].Program(target, tol, maxPulses)
+			pulses += p
+			if !ok {
+				failures++
+			}
+		}
+	}
+	return pulses, failures
+}
+
+// ReadIdeal returns the column currents under the given row voltages with
+// no wire parasitics: I_j = Σ_i V_i·G_ij.
+func (cb *Crossbar) ReadIdeal(rowV []float64) []float64 {
+	if len(rowV) != cb.s {
+		panic(fmt.Sprintf("device: %d row voltages for a %d×%d crossbar", len(rowV), cb.s, cb.s))
+	}
+	out := make([]float64, cb.s)
+	for i, v := range rowV {
+		if v == 0 {
+			continue
+		}
+		for j := 0; j < cb.s; j++ {
+			out[j] += v * cb.cells[i][j].Conductance()
+		}
+	}
+	return out
+}
+
+// Read solves the full resistor network of the crossbar — row wires driven
+// at their left ends, column wires sensed at virtual ground at their
+// bottom ends, RWire per segment, one memristor per crossing — by
+// successive over-relaxation on the nodal equations, and returns the sensed
+// column currents. With RWire = 0 it reduces to ReadIdeal.
+func (cb *Crossbar) Read(rowV []float64) ([]float64, error) {
+	if len(rowV) != cb.s {
+		panic(fmt.Sprintf("device: %d row voltages for a %d×%d crossbar", len(rowV), cb.s, cb.s))
+	}
+	if cb.params.RWire == 0 {
+		return cb.ReadIdeal(rowV), nil
+	}
+	s := cb.s
+	gw := 1 / cb.params.RWire
+	// Node potentials: vr[i*s+j] on the row wire, vc[i*s+j] on the column
+	// wire. Row i is driven at segment j=-1 with fixed rowV[i]; column j is
+	// grounded below segment i=s-1.
+	vr := make([]float64, s*s)
+	vc := make([]float64, s*s)
+	g := make([]float64, s*s) // memristor conductances, cached
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			g[i*s+j] = cb.cells[i][j].Conductance()
+			vr[i*s+j] = rowV[i] // good initial guess
+		}
+	}
+	const omega = 1.9
+	for sweep := 0; sweep < cb.params.MaxSweeps; sweep++ {
+		maxDelta := 0.0
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				idx := i*s + j
+				// Row node (i,j): neighbours (i,j−1) [or the driver],
+				// (i,j+1), and the memristor to the column node.
+				num := g[idx] * vc[idx]
+				den := g[idx]
+				if j == 0 {
+					num += gw * rowV[i]
+					den += gw
+				} else {
+					num += gw * vr[idx-1]
+					den += gw
+				}
+				if j < s-1 {
+					num += gw * vr[idx+1]
+					den += gw
+				}
+				nv := num / den
+				d := nv - vr[idx]
+				vr[idx] += omega * d
+				if math.Abs(d) > maxDelta {
+					maxDelta = math.Abs(d)
+				}
+				// Column node (i,j): neighbours (i−1,j), (i+1,j) [or the
+				// ground sense], and the memristor to the row node.
+				num = g[idx] * vr[idx]
+				den = g[idx]
+				if i > 0 {
+					num += gw * vc[idx-s]
+					den += gw
+				}
+				if i == s-1 {
+					// Segment to the virtual-ground sense node.
+					den += gw
+				} else {
+					num += gw * vc[idx+s]
+					den += gw
+				}
+				nv = num / den
+				d = nv - vc[idx]
+				vc[idx] += omega * d
+				if math.Abs(d) > maxDelta {
+					maxDelta = math.Abs(d)
+				}
+			}
+		}
+		if maxDelta < cb.params.Tol*cb.params.VRead {
+			// Converged: sense currents through the bottom segments.
+			out := make([]float64, s)
+			for j := 0; j < s; j++ {
+				out[j] = vc[(s-1)*s+j] * gw
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("device: crossbar read failed to converge in %d sweeps", cb.params.MaxSweeps)
+}
+
+// ReliabilityResult reports one size point of the reliability sweep.
+type ReliabilityResult struct {
+	Size        int
+	Trials      int
+	Correct     int     // trials where every column count was read exactly
+	Rate        float64 // Correct/Trials
+	WorstSag    float64 // worst relative current loss vs ideal observed
+	MeanColErr  float64 // mean |count error| per column
+	ProgramFail int     // write-verify failures across all trials
+}
+
+// CountReadReliability measures, for a crossbar of the given size, how
+// reliably the number of on-devices per column can be read back: each trial
+// programs a random binary pattern of the given density, reads all columns
+// with every row driven at VRead, estimates each column's on-count by
+// dividing the sensed current by the nominal single-device on-current, and
+// counts the trial correct when every column matches within the sense
+// margin (2.5% of the crossbar size, at least ±1 — the counting tolerance a
+// calibrated sense amplifier affords). IR drop and device variation make
+// this fail beyond a technology-dependent size — the constraint that caps
+// the paper's crossbar library at 64×64.
+func CountReadReliability(size, trials int, density float64, p CrossbarParams, seed int64) (*ReliabilityResult, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("device: trials %d must be positive", trials)
+	}
+	if density < 0 || density > 1 {
+		return nil, fmt.Errorf("device: density %g out of [0,1]", density)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &ReliabilityResult{Size: size, Trials: trials}
+	unitI := p.VRead * (1/p.Device.ROn - 1/p.Device.ROff) // nominal on minus off baseline
+	baseI := p.VRead * (1 / p.Device.ROff)
+	rowV := make([]float64, size)
+	for i := range rowV {
+		rowV[i] = p.VRead
+	}
+	colErrSum, colErrCount := 0.0, 0
+	for t := 0; t < trials; t++ {
+		cb, err := NewCrossbar(size, p, rng)
+		if err != nil {
+			return nil, err
+		}
+		pattern := make([][]bool, size)
+		trueCount := make([]int, size)
+		for i := range pattern {
+			pattern[i] = make([]bool, size)
+			for j := range pattern[i] {
+				if rng.Float64() < density {
+					pattern[i][j] = true
+					trueCount[j]++
+				}
+			}
+		}
+		_, fails := cb.ProgramPattern(pattern, 0.02, 200)
+		res.ProgramFail += fails
+		actual, err := cb.Read(rowV)
+		if err != nil {
+			return nil, err
+		}
+		ideal := cb.ReadIdeal(rowV)
+		margin := int(math.Ceil(0.025 * float64(size)))
+		if margin < 1 {
+			margin = 1
+		}
+		allOK := true
+		for j := 0; j < size; j++ {
+			if ideal[j] > 0 {
+				if sag := 1 - actual[j]/ideal[j]; sag > res.WorstSag {
+					res.WorstSag = sag
+				}
+			}
+			est := int(math.Round((actual[j] - float64(size)*baseI) / unitI))
+			if est < 0 {
+				est = 0
+			}
+			diff := est - trueCount[j]
+			if diff > margin || diff < -margin {
+				allOK = false
+			}
+			colErrSum += math.Abs(float64(diff))
+			colErrCount++
+		}
+		if allOK {
+			res.Correct++
+		}
+	}
+	res.Rate = float64(res.Correct) / float64(trials)
+	if colErrCount > 0 {
+		res.MeanColErr = colErrSum / float64(colErrCount)
+	}
+	return res, nil
+}

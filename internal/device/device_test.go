@@ -1,0 +1,327 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidation(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MemristorParams{
+		{ROn: 0, ROff: 1e6, VThreshold: 1, DriftPerNs: 0.02},
+		{ROn: 1e6, ROff: 1e4, VThreshold: 1, DriftPerNs: 0.02},
+		{ROn: 1e4, ROff: 1e6, VThreshold: 0, DriftPerNs: 0.02},
+		{ROn: 1e4, ROff: 1e6, VThreshold: 1, DriftPerNs: 0},
+		{ROn: 1e4, ROff: 1e6, VThreshold: 1, DriftPerNs: 0.02, Sigma: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func newDev(t *testing.T, sigma float64) *Memristor {
+	t.Helper()
+	p := DefaultParams()
+	p.Sigma = sigma
+	m, err := NewMemristor(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMemristorStartsOff(t *testing.T) {
+	m := newDev(t, 0)
+	if m.State() != 0 {
+		t.Fatalf("initial state %g", m.State())
+	}
+	if r := m.Resistance(); math.Abs(r-1e6) > 1 {
+		t.Fatalf("initial resistance %g, want ROff", r)
+	}
+}
+
+func TestPulseBelowThresholdIsDisturbOnly(t *testing.T) {
+	m := newDev(t, 0)
+	m.ApplyPulse(0.5, 10)
+	if m.State() != 0 {
+		t.Fatal("sub-threshold pulse changed state")
+	}
+	if m.HalfSelectEvents() != 1 {
+		t.Fatalf("disturb events = %d, want 1", m.HalfSelectEvents())
+	}
+	m.ApplyPulse(0, 10)
+	if m.HalfSelectEvents() != 1 {
+		t.Fatal("zero pulse counted as disturb")
+	}
+}
+
+func TestPulsePolarity(t *testing.T) {
+	m := newDev(t, 0)
+	m.ApplyPulse(1.5, 5)
+	if m.State() <= 0 {
+		t.Fatal("positive pulse did not raise state")
+	}
+	up := m.State()
+	m.ApplyPulse(-1.5, 2)
+	if m.State() >= up {
+		t.Fatal("negative pulse did not lower state")
+	}
+}
+
+func TestStateSaturates(t *testing.T) {
+	m := newDev(t, 0)
+	m.ApplyPulse(3, 1e6)
+	if m.State() != 1 {
+		t.Fatalf("state %g after huge pulse, want 1", m.State())
+	}
+	if r := m.Resistance(); math.Abs(r-1e4)/1e4 > 1e-9 {
+		t.Fatalf("on resistance %g, want ROn", r)
+	}
+	m.ApplyPulse(-3, 1e6)
+	if m.State() != 0 {
+		t.Fatalf("state %g after huge reset, want 0", m.State())
+	}
+}
+
+func TestNegativeDurationPanics(t *testing.T) {
+	m := newDev(t, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration accepted")
+		}
+	}()
+	m.ApplyPulse(2, -1)
+}
+
+func TestProgramConverges(t *testing.T) {
+	m := newDev(t, 0)
+	pulses, ok := m.Program(0.7, 0.01, 500)
+	if !ok {
+		t.Fatalf("program did not converge in %d pulses", pulses)
+	}
+	if math.Abs(m.State()-0.7) > 0.01 {
+		t.Fatalf("state %g, want 0.7±0.01", m.State())
+	}
+	// Programming back down converges too.
+	if _, ok := m.Program(0.2, 0.01, 500); !ok {
+		t.Fatal("down-programming did not converge")
+	}
+}
+
+func TestProgramInvalidArgsPanic(t *testing.T) {
+	m := newDev(t, 0)
+	for name, f := range map[string]func(){
+		"target": func() { m.Program(1.5, 0.01, 10) },
+		"tol":    func() { m.Program(0.5, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestProcessVariationSpreadsResistance(t *testing.T) {
+	p := DefaultParams()
+	p.Sigma = 0.2
+	rng := rand.New(rand.NewSource(9))
+	seen := map[float64]bool{}
+	for i := 0; i < 10; i++ {
+		m, err := NewMemristor(p, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.rOff <= m.rOn {
+			t.Fatal("variation inverted the resistance corner")
+		}
+		seen[m.rOn] = true
+	}
+	if len(seen) < 5 {
+		t.Fatal("process variation produced near-identical devices")
+	}
+}
+
+func TestCrossbarReadIdealMatchesMatrixProduct(t *testing.T) {
+	p := DefaultCrossbarParams()
+	p.Device.Sigma = 0
+	cb, err := NewCrossbar(4, p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := [][]bool{
+		{true, false, false, true},
+		{false, true, false, true},
+		{false, false, true, true},
+		{false, false, false, false},
+	}
+	if _, fails := cb.ProgramPattern(pattern, 0.01, 500); fails != 0 {
+		t.Fatalf("%d programming failures", fails)
+	}
+	v := []float64{1, 1, 1, 1}
+	ideal := cb.ReadIdeal(v)
+	gOn, gOff := 1/p.Device.ROn, 1/p.Device.ROff
+	wantCol3 := 3*gOn + 1*gOff // three on-cells plus one off-cell
+	if math.Abs(ideal[3]-wantCol3)/wantCol3 > 0.05 {
+		t.Fatalf("ideal col 3 current %g, want ≈%g", ideal[3], wantCol3)
+	}
+}
+
+func TestCrossbarReadZeroWireEqualsIdeal(t *testing.T) {
+	p := DefaultCrossbarParams()
+	p.RWire = 0
+	cb, err := NewCrossbar(3, p, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb.Cell(0, 0).Program(1, 0.01, 500)
+	v := []float64{1, 0.5, 0}
+	actual, err := cb.Read(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := cb.ReadIdeal(v)
+	for j := range ideal {
+		if actual[j] != ideal[j] {
+			t.Fatalf("col %d: %g != ideal %g", j, actual[j], ideal[j])
+		}
+	}
+}
+
+func TestCrossbarIRDropReducesCurrent(t *testing.T) {
+	p := DefaultCrossbarParams()
+	p.Device.Sigma = 0
+	p.RWire = 5 // exaggerated parasitics
+	cb, err := NewCrossbar(16, p, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := make([][]bool, 16)
+	for i := range pattern {
+		pattern[i] = make([]bool, 16)
+		for j := range pattern[i] {
+			pattern[i][j] = true
+		}
+	}
+	cb.ProgramPattern(pattern, 0.02, 500)
+	v := make([]float64, 16)
+	for i := range v {
+		v[i] = 1
+	}
+	actual, err := cb.Read(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := cb.ReadIdeal(v)
+	for j := range actual {
+		if actual[j] >= ideal[j] {
+			t.Fatalf("col %d: IR drop did not reduce current (%g vs %g)", j, actual[j], ideal[j])
+		}
+	}
+	// The far column (longest row path) must sag at least as much as the
+	// near column.
+	sagNear := 1 - actual[0]/ideal[0]
+	sagFar := 1 - actual[15]/ideal[15]
+	if sagFar < sagNear-1e-9 {
+		t.Fatalf("far column sags less (%g) than near column (%g)", sagFar, sagNear)
+	}
+}
+
+func TestCrossbarInvalidInputs(t *testing.T) {
+	p := DefaultCrossbarParams()
+	if _, err := NewCrossbar(0, p, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("size 0 accepted")
+	}
+	bad := p
+	bad.VRead = 0
+	if _, err := NewCrossbar(4, bad, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bad params accepted")
+	}
+	cb, err := NewCrossbar(3, p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func(){
+		"cell":        func() { cb.Cell(3, 0) },
+		"read len":    func() { cb.Read([]float64{1}) },
+		"pattern len": func() { cb.ProgramPattern([][]bool{{true}}, 0.01, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestReliabilityDegradesWithSize(t *testing.T) {
+	p := DefaultCrossbarParams()
+	small, err := CountReadReliability(8, 5, 0.3, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := CountReadReliability(48, 5, 0.3, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Rate < large.Rate {
+		t.Fatalf("reliability grew with size: %g → %g", small.Rate, large.Rate)
+	}
+	if small.Rate < 0.8 {
+		t.Fatalf("8×8 crossbar unreliable (%g) — model miscalibrated", small.Rate)
+	}
+	if large.WorstSag <= small.WorstSag {
+		t.Fatalf("IR sag did not grow with size: %g vs %g", large.WorstSag, small.WorstSag)
+	}
+}
+
+func TestReliabilityInputValidation(t *testing.T) {
+	p := DefaultCrossbarParams()
+	if _, err := CountReadReliability(8, 0, 0.3, p, 1); err == nil {
+		t.Error("0 trials accepted")
+	}
+	if _, err := CountReadReliability(8, 2, 1.5, p, 1); err == nil {
+		t.Error("density 1.5 accepted")
+	}
+}
+
+// Property: conductance is always within the (per-instance) on/off corner
+// and monotone in state.
+func TestConductanceBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewMemristor(DefaultParams(), rng)
+		if err != nil {
+			return false
+		}
+		prev := m.Conductance()
+		for k := 0; k < 20; k++ {
+			m.ApplyPulse(1.5, rng.Float64()*3)
+			g := m.Conductance()
+			if g < prev-1e-15 { // positive pulses only: monotone up
+				return false
+			}
+			if g < 1/m.rOff-1e-15 || g > 1/m.rOn+1e-15 {
+				return false
+			}
+			prev = g
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

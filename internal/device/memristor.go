@@ -1,0 +1,166 @@
+// Package device provides the behavioural memristor and crossbar circuit
+// models underlying the hardware substrate: a voltage-controlled memristor
+// with programmable resistance, a write-verify programming loop, and an
+// IR-drop-aware crossbar read model with process variation. The package
+// reproduces the paper's motivating constraint (Section 2.1, citing Liang &
+// Wong): as the crossbar size grows, IR drop along the wires and device
+// variation degrade read margins until crossbars beyond 64×64 are no
+// longer reliable.
+package device
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MemristorParams describes one memristor technology corner.
+// Resistances in Ω, voltages in V, times in ns.
+type MemristorParams struct {
+	// ROn and ROff are the low- and high-resistance states.
+	ROn, ROff float64
+	// VThreshold is the programming threshold: biases below it (in
+	// magnitude) do not disturb the state, which is what makes the
+	// half-select scheme of a crossbar write work.
+	VThreshold float64
+	// DriftPerNs is the fractional state change per ns of a full-swing
+	// programming pulse.
+	DriftPerNs float64
+	// Sigma is the lognormal process-variation of both resistance states
+	// (σ of ln R), applied per device instance.
+	Sigma float64
+}
+
+// DefaultParams returns a TiO2-flavoured parameter set at the 45 nm node.
+func DefaultParams() MemristorParams {
+	return MemristorParams{
+		ROn:        1e4,  // 10 kΩ
+		ROff:       1e6,  // 1 MΩ
+		VThreshold: 1.0,  // V
+		DriftPerNs: 0.02, // 2% of range per ns at full swing
+		Sigma:      0.10,
+	}
+}
+
+// Validate reports whether the parameters are physically sensible.
+func (p MemristorParams) Validate() error {
+	if p.ROn <= 0 || p.ROff <= p.ROn {
+		return fmt.Errorf("device: need 0 < ROn < ROff, got %g, %g", p.ROn, p.ROff)
+	}
+	if p.VThreshold <= 0 {
+		return fmt.Errorf("device: threshold %g must be positive", p.VThreshold)
+	}
+	if p.DriftPerNs <= 0 || p.DriftPerNs > 1 {
+		return fmt.Errorf("device: drift %g per ns out of (0,1]", p.DriftPerNs)
+	}
+	if p.Sigma < 0 {
+		return fmt.Errorf("device: sigma %g must be ≥ 0", p.Sigma)
+	}
+	return nil
+}
+
+// Memristor is one device instance. Its state x ∈ [0,1] interpolates the
+// conductance between the off state (x=0) and the on state (x=1); the
+// conductance model is linear in x, G = G_off + x·(G_on − G_off), the
+// common behavioural abstraction.
+type Memristor struct {
+	params     MemristorParams
+	x          float64
+	rOn, rOff  float64 // per-instance, after process variation
+	halfSelect int     // disturb event counter (diagnostics)
+}
+
+// NewMemristor returns a device at x=0 (high resistance). Process variation
+// is drawn from rng if the parameter σ is non-zero; pass a deterministic
+// source for reproducibility.
+func NewMemristor(p MemristorParams, rng *rand.Rand) (*Memristor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memristor{params: p, rOn: p.ROn, rOff: p.ROff}
+	if p.Sigma > 0 {
+		m.rOn = p.ROn * math.Exp(rng.NormFloat64()*p.Sigma)
+		m.rOff = p.ROff * math.Exp(rng.NormFloat64()*p.Sigma)
+		if m.rOff <= m.rOn {
+			// Pathological draw; keep the corner ordering.
+			m.rOff = m.rOn * (p.ROff / p.ROn)
+		}
+	}
+	return m, nil
+}
+
+// State returns the internal state x ∈ [0,1].
+func (m *Memristor) State() float64 { return m.x }
+
+// Conductance returns the present conductance in siemens.
+func (m *Memristor) Conductance() float64 {
+	gOn, gOff := 1/m.rOn, 1/m.rOff
+	return gOff + m.x*(gOn-gOff)
+}
+
+// Resistance returns the present resistance in Ω.
+func (m *Memristor) Resistance() float64 { return 1 / m.Conductance() }
+
+// ApplyPulse applies a programming pulse of the given amplitude (signed,
+// V) and duration (ns). Positive bias drives the device toward the on
+// state, negative toward off; magnitudes below the threshold leave the
+// state untouched (but are counted as half-select events for diagnostics).
+func (m *Memristor) ApplyPulse(voltage, duration float64) {
+	if duration < 0 {
+		panic(fmt.Sprintf("device: negative pulse duration %g", duration))
+	}
+	if math.Abs(voltage) < m.params.VThreshold {
+		if voltage != 0 {
+			m.halfSelect++
+		}
+		return
+	}
+	// Drift proportional to overdrive and duration.
+	over := (math.Abs(voltage) - m.params.VThreshold) / m.params.VThreshold
+	delta := m.params.DriftPerNs * duration * (1 + over)
+	if voltage > 0 {
+		m.x += delta
+	} else {
+		m.x -= delta
+	}
+	if m.x > 1 {
+		m.x = 1
+	}
+	if m.x < 0 {
+		m.x = 0
+	}
+}
+
+// HalfSelectEvents returns how many sub-threshold (disturb) pulses the
+// device has seen.
+func (m *Memristor) HalfSelectEvents() int { return m.halfSelect }
+
+// Program runs a write-verify loop driving the device to the target
+// conductance within tol (relative). It returns the number of pulses used
+// and whether it converged within maxPulses.
+func (m *Memristor) Program(targetState, tol float64, maxPulses int) (pulses int, ok bool) {
+	if targetState < 0 || targetState > 1 {
+		panic(fmt.Sprintf("device: target state %g out of [0,1]", targetState))
+	}
+	if tol <= 0 {
+		panic(fmt.Sprintf("device: tolerance %g must be positive", tol))
+	}
+	v := 1.5 * m.params.VThreshold
+	for pulses = 0; pulses < maxPulses; pulses++ {
+		err := targetState - m.x
+		if math.Abs(err) <= tol {
+			return pulses, true
+		}
+		// Short corrective pulses near the target, longer ones far away.
+		dur := math.Min(math.Abs(err)/m.params.DriftPerNs/2, 5)
+		if dur <= 0 {
+			dur = 0.1
+		}
+		if err > 0 {
+			m.ApplyPulse(v, dur)
+		} else {
+			m.ApplyPulse(-v, dur)
+		}
+	}
+	return pulses, math.Abs(targetState-m.x) <= tol
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/hopfield"
+	"repro/internal/ncsim"
+	"repro/internal/xbar"
+)
+
+// FidelityResult compares the recognition quality of the software Hopfield
+// network with the same network executed through the compiled hybrid
+// hardware (ncsim): a functional-correctness check the paper asserts
+// implicitly ("our design maintains the topology of the original NCS").
+type FidelityResult struct {
+	Testbench       hopfield.Testbench
+	SoftwareRate    float64 // recognition rate of the sparse software model
+	HardwareRate    float64 // same patterns through the compiled machine
+	Crossbars       int
+	Synapses        int
+	DefectRate      float64 // if non-zero, the mapping was defect-repaired
+	DemotedByRepair int
+}
+
+// Fidelity compiles the testbench with ISC, optionally injects and repairs
+// stuck-at defects, builds the hardware machine (ideal wires, programmed
+// devices with variation), and measures both recognition rates under the
+// given input noise.
+func Fidelity(tb hopfield.Testbench, noise, defectRate float64, seed int64) (*FidelityResult, error) {
+	cm, net, patterns := tb.Build(seed)
+	lib := xbar.DefaultLibrary()
+	res, err := core.ISC(cm, core.ISCOptions{
+		Library:              lib,
+		UtilizationThreshold: xbar.FullCro(cm, lib).AvgUtilization(),
+		Rand:                 rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	assign := res.Assignment
+	out := &FidelityResult{Testbench: tb, DefectRate: defectRate}
+	if defectRate > 0 {
+		var stats *xbar.RepairStats
+		assign, stats = xbar.Repair(assign, defectRate, 0.3, rand.New(rand.NewSource(seed+1)))
+		out.DemotedByRepair = stats.TotalDemotions
+	}
+	out.Crossbars = len(assign.Crossbars)
+	out.Synapses = len(assign.Synapses)
+	machine, err := ncsim.Build(assign, net, ncsim.Options{Ideal: true, Seed: seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	out.SoftwareRate = net.RecognitionRate(patterns, noise, 0.9, rand.New(rand.NewSource(seed+3)))
+	out.HardwareRate, err = machine.RecognitionRate(patterns, noise, 0.9, rand.New(rand.NewSource(seed+3)))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"repro/internal/device"
+)
+
+// ReliabilitySweep reproduces the paper's motivating constraint (Section
+// 2.1, citing Liang & Wong [6]): crossbar read reliability versus size
+// under IR drop and process variation, which is why the crossbar library
+// tops out at 64×64. It is not one of the paper's own figures but the
+// quantitative justification it builds on.
+type ReliabilitySweep struct {
+	Points []device.ReliabilityResult
+}
+
+// Reliability runs the sweep over the given sizes with the default 45 nm
+// crossbar circuit model.
+func Reliability(sizes []int, trials int, density float64, seed int64) (*ReliabilitySweep, error) {
+	p := device.DefaultCrossbarParams()
+	out := &ReliabilitySweep{}
+	for _, s := range sizes {
+		r, err := device.CountReadReliability(s, trials, density, p, seed)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, *r)
+	}
+	return out, nil
+}
+
+// Knee returns the largest size with reliability ≥ 0.5, or 0 if none.
+func (r *ReliabilitySweep) Knee() int {
+	knee := 0
+	for _, pt := range r.Points {
+		if pt.Rate >= 0.5 && pt.Size > knee {
+			knee = pt.Size
+		}
+	}
+	return knee
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/xbar"
+)
+
+// SparsityPoint is one sparsity regime of the sweep.
+type SparsityPoint struct {
+	Sparsity       float64
+	OutlierRatio   float64 // fraction of connections mapped to synapses
+	Crossbars      int
+	AvgUtilization float64
+	AvgCrossbarSz  float64
+	// SynapseShare is the fraction of total *hardware elements* (crossbar
+	// cells + discrete synapses) contributed by synapses — the hybrid
+	// balance the introduction argues shifts with sparsity.
+	SynapseShare float64
+}
+
+// SparsitySweep runs ISC over networks of the same size at increasing
+// sparsity, quantifying the paper's motivating claim: the sparser the
+// network, the less of it belongs in crossbars. It is an extension
+// experiment (not a paper figure) exercising the full clustering flow
+// across regimes.
+func SparsitySweep(n int, sparsities []float64, seed int64) ([]SparsityPoint, error) {
+	lib := xbar.DefaultLibrary()
+	var out []SparsityPoint
+	for _, sp := range sparsities {
+		rng := rand.New(rand.NewSource(seed))
+		cm := graph.RandomSparse(n, sp, rng)
+		res, err := core.ISC(cm, core.ISCOptions{
+			Library:              lib,
+			UtilizationThreshold: xbar.FullCro(cm, lib).AvgUtilization(),
+			Rand:                 rand.New(rand.NewSource(seed + 1)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		a := res.Assignment
+		pt := SparsityPoint{
+			Sparsity:       sp,
+			OutlierRatio:   a.OutlierRatio(),
+			Crossbars:      len(a.Crossbars),
+			AvgUtilization: a.AvgUtilization(),
+		}
+		cells := 0
+		for _, cb := range a.Crossbars {
+			pt.AvgCrossbarSz += float64(cb.Size)
+			cells += cb.Size * cb.Size
+		}
+		if len(a.Crossbars) > 0 {
+			pt.AvgCrossbarSz /= float64(len(a.Crossbars))
+		}
+		if cells+len(a.Synapses) > 0 {
+			pt.SynapseShare = float64(len(a.Synapses)) / float64(cells+len(a.Synapses))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,453 @@
+// Package graph provides the binary connection-matrix representation of a
+// neural network used throughout the AutoNCS flow, along with the degree and
+// Laplacian constructions needed by spectral clustering and assorted
+// topology statistics (sparsity, fanin/fanout, connected components).
+//
+// A connection matrix W has w_ij = 1 when input neuron i drives output
+// neuron j through a synapse. Rows are stored as bitsets, so an N=500
+// testbench costs ~16 KB and set/test/count are O(1)/O(words).
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+const wordBits = 64
+
+// Conn is a square binary connection matrix over n neurons.
+// The zero value is an empty 0-neuron matrix; use NewConn for a sized one.
+type Conn struct {
+	n     int
+	words int // words per row
+	bits  []uint64
+	count int // number of set connections
+}
+
+// NewConn returns an empty connection matrix over n neurons.
+// It panics if n is negative.
+func NewConn(n int) *Conn {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative size %d", n))
+	}
+	w := (n + wordBits - 1) / wordBits
+	return &Conn{n: n, words: w, bits: make([]uint64, n*w)}
+}
+
+// N returns the number of neurons.
+func (c *Conn) N() int { return c.n }
+
+// NNZ returns the number of connections (set entries).
+func (c *Conn) NNZ() int { return c.count }
+
+// Sparsity returns 1 - NNZ/n², the paper's definition of network sparsity.
+// A 0-neuron network has sparsity 1.
+func (c *Conn) Sparsity() float64 {
+	if c.n == 0 {
+		return 1
+	}
+	return 1 - float64(c.count)/float64(c.n)/float64(c.n)
+}
+
+func (c *Conn) checkIdx(i, j int) {
+	if i < 0 || i >= c.n || j < 0 || j >= c.n {
+		panic(fmt.Sprintf("graph: index (%d,%d) out of range for %d neurons", i, j, c.n))
+	}
+}
+
+// Has reports whether the connection i→j exists.
+func (c *Conn) Has(i, j int) bool {
+	c.checkIdx(i, j)
+	return c.bits[i*c.words+j/wordBits]&(1<<(uint(j)%wordBits)) != 0
+}
+
+// Set adds the connection i→j. Setting an existing connection is a no-op.
+func (c *Conn) Set(i, j int) {
+	c.checkIdx(i, j)
+	w := &c.bits[i*c.words+j/wordBits]
+	mask := uint64(1) << (uint(j) % wordBits)
+	if *w&mask == 0 {
+		*w |= mask
+		c.count++
+	}
+}
+
+// Clear removes the connection i→j. Clearing an absent connection is a no-op.
+func (c *Conn) Clear(i, j int) {
+	c.checkIdx(i, j)
+	w := &c.bits[i*c.words+j/wordBits]
+	mask := uint64(1) << (uint(j) % wordBits)
+	if *w&mask != 0 {
+		*w &^= mask
+		c.count--
+	}
+}
+
+// Clone returns a deep copy.
+func (c *Conn) Clone() *Conn {
+	out := &Conn{n: c.n, words: c.words, count: c.count, bits: make([]uint64, len(c.bits))}
+	copy(out.bits, c.bits)
+	return out
+}
+
+// Equal reports whether two matrices have identical size and connections.
+func (c *Conn) Equal(o *Conn) bool {
+	if c.n != o.n || c.count != o.count {
+		return false
+	}
+	for i, w := range c.bits {
+		if o.bits[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// OutDegree returns the number of outgoing connections of neuron i (fanout).
+func (c *Conn) OutDegree(i int) int {
+	c.checkIdx(i, 0)
+	row := c.bits[i*c.words : (i+1)*c.words]
+	d := 0
+	for _, w := range row {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
+
+// InDegree returns the number of incoming connections of neuron j (fanin).
+func (c *Conn) InDegree(j int) int {
+	c.checkIdx(0, j)
+	word, mask := j/wordBits, uint64(1)<<(uint(j)%wordBits)
+	d := 0
+	for i := 0; i < c.n; i++ {
+		if c.bits[i*c.words+word]&mask != 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// FanInOut returns fanin+fanout of neuron i, the congestion proxy the paper
+// uses in Figures 7-9(d).
+func (c *Conn) FanInOut(i int) int { return c.InDegree(i) + c.OutDegree(i) }
+
+// RowNeighbors appends to dst the column indices j with connection i→j and
+// returns the extended slice.
+func (c *Conn) RowNeighbors(i int, dst []int) []int {
+	c.checkIdx(i, 0)
+	row := c.bits[i*c.words : (i+1)*c.words]
+	for wi, w := range row {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, base+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Edge is a directed connection in the network.
+type Edge struct{ From, To int }
+
+// Edges returns all connections in row-major order.
+func (c *Conn) Edges() []Edge {
+	out := make([]Edge, 0, c.count)
+	var buf []int
+	for i := 0; i < c.n; i++ {
+		buf = c.RowNeighbors(i, buf[:0])
+		for _, j := range buf {
+			out = append(out, Edge{i, j})
+		}
+	}
+	return out
+}
+
+// Symmetrized returns W ∨ Wᵀ: the undirected version of the network used to
+// build the similarity graph for spectral clustering.
+func (c *Conn) Symmetrized() *Conn {
+	out := c.Clone()
+	var buf []int
+	for i := 0; i < c.n; i++ {
+		buf = c.RowNeighbors(i, buf[:0])
+		for _, j := range buf {
+			out.Set(j, i)
+		}
+	}
+	return out
+}
+
+// IsSymmetric reports whether w_ij == w_ji for all pairs.
+func (c *Conn) IsSymmetric() bool {
+	var buf []int
+	for i := 0; i < c.n; i++ {
+		buf = c.RowNeighbors(i, buf[:0])
+		for _, j := range buf {
+			if !c.Has(j, i) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Sub extracts the induced sub-network over the given neuron indices. Entry
+// (a,b) of the result equals c.Has(idx[a], idx[b]). Indices may appear in any
+// order but must be unique and in range.
+func (c *Conn) Sub(idx []int) *Conn {
+	out := NewConn(len(idx))
+	seen := make(map[int]bool, len(idx))
+	for _, v := range idx {
+		if v < 0 || v >= c.n {
+			panic(fmt.Sprintf("graph: Sub index %d out of range %d", v, c.n))
+		}
+		if seen[v] {
+			panic(fmt.Sprintf("graph: Sub duplicate index %d", v))
+		}
+		seen[v] = true
+	}
+	for a, i := range idx {
+		for b, j := range idx {
+			if c.Has(i, j) {
+				out.Set(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// CountWithin returns the number of connections (i→j) with both endpoints in
+// idx. This is the crossbar "utilized connections" m for a cluster.
+func (c *Conn) CountWithin(idx []int) int {
+	if len(idx) == 0 {
+		return 0
+	}
+	member := make(map[int]bool, len(idx))
+	for _, v := range idx {
+		member[v] = true
+	}
+	m := 0
+	var buf []int
+	for _, i := range idx {
+		buf = c.RowNeighbors(i, buf[:0])
+		for _, j := range buf {
+			if member[j] {
+				m++
+			}
+		}
+	}
+	return m
+}
+
+// WithinEdges returns every connection (i→j) with both endpoints in idx, in
+// the iteration order of idx then neighbor order.
+func (c *Conn) WithinEdges(idx []int) []Edge {
+	member := make(map[int]bool, len(idx))
+	for _, v := range idx {
+		member[v] = true
+	}
+	var out []Edge
+	var buf []int
+	for _, i := range idx {
+		buf = c.RowNeighbors(i, buf[:0])
+		for _, j := range buf {
+			if member[j] {
+				out = append(out, Edge{From: i, To: j})
+			}
+		}
+	}
+	return out
+}
+
+// RemoveWithin deletes every connection with both endpoints in idx and
+// returns the number removed. This is the ISC step that peels a mapped
+// cluster out of the remaining network.
+func (c *Conn) RemoveWithin(idx []int) int {
+	member := make(map[int]bool, len(idx))
+	for _, v := range idx {
+		member[v] = true
+	}
+	removed := 0
+	var buf []int
+	for _, i := range idx {
+		buf = c.RowNeighbors(i, buf[:0])
+		for _, j := range buf {
+			if member[j] {
+				c.Clear(i, j)
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// ActiveNeurons returns the indices of neurons with at least one incident
+// connection (fanin+fanout > 0) in ascending order.
+func (c *Conn) ActiveNeurons() []int {
+	active := make([]bool, c.n)
+	var buf []int
+	for i := 0; i < c.n; i++ {
+		buf = c.RowNeighbors(i, buf[:0])
+		if len(buf) > 0 {
+			active[i] = true
+		}
+		for _, j := range buf {
+			active[j] = true
+		}
+	}
+	out := make([]int, 0, c.n)
+	for i, a := range active {
+		if a {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Degrees returns d_i = Σ_j w_ij for the (assumed symmetric) matrix — the
+// diagonal of the degree matrix D in Algorithm 1.
+func (c *Conn) Degrees() []float64 {
+	d := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		d[i] = float64(c.OutDegree(i))
+	}
+	return d
+}
+
+// Laplacian returns the unnormalized graph Laplacian L = D − W of the
+// (assumed symmetric) matrix as a dense matrix, plus the degree diagonal.
+func (c *Conn) Laplacian() (*matrix.Dense, []float64) {
+	l := matrix.NewDense(c.n, c.n)
+	d := make([]float64, c.n)
+	var buf []int
+	for i := 0; i < c.n; i++ {
+		buf = c.RowNeighbors(i, buf[:0])
+		for _, j := range buf {
+			if i != j {
+				l.Set(i, j, -1)
+			}
+		}
+	}
+	for i := 0; i < c.n; i++ {
+		deg := float64(c.OutDegree(i))
+		if c.Has(i, i) {
+			deg-- // self-loops do not contribute to the Laplacian
+		}
+		d[i] = deg
+		l.Set(i, i, deg)
+	}
+	return l, d
+}
+
+// Components returns the connected components of the symmetrized network,
+// each as an ascending slice of neuron indices. Isolated neurons form
+// singleton components.
+func (c *Conn) Components() [][]int {
+	sym := c
+	if !c.IsSymmetric() {
+		sym = c.Symmetrized()
+	}
+	comp := make([]int, c.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var out [][]int
+	var stack, buf []int
+	for s := 0; s < c.n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := len(out)
+		comp[s] = id
+		stack = append(stack[:0], s)
+		members := []int{}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			members = append(members, v)
+			buf = sym.RowNeighbors(v, buf[:0])
+			for _, u := range buf {
+				if comp[u] < 0 {
+					comp[u] = id
+					stack = append(stack, u)
+				}
+			}
+		}
+		sortInts(members)
+		out = append(out, members)
+	}
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// String renders the matrix as an ASCII bitmap ('#' = connection).
+func (c *Conn) String() string {
+	var b strings.Builder
+	for i := 0; i < c.n; i++ {
+		for j := 0; j < c.n; j++ {
+			if c.Has(i, j) {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RandomSparse returns a random symmetric connection matrix over n neurons
+// with approximately the given sparsity (fraction of absent connections),
+// with no self-connections. The construction samples the upper triangle and
+// mirrors it, matching the structure of the paper's Hopfield testbenches.
+func RandomSparse(n int, sparsity float64, rng *rand.Rand) *Conn {
+	if sparsity < 0 || sparsity > 1 {
+		panic(fmt.Sprintf("graph: sparsity %g out of [0,1]", sparsity))
+	}
+	c := NewConn(n)
+	density := 1 - sparsity
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				c.Set(i, j)
+				c.Set(j, i)
+			}
+		}
+	}
+	return c
+}
+
+// RandomClustered returns a symmetric matrix of n neurons partitioned into
+// blocks of the given size, dense (densityIn) within blocks and sparse
+// (densityOut) between them. Used by tests that need a known-clusterable
+// topology.
+func RandomClustered(n, blockSize int, densityIn, densityOut float64, rng *rand.Rand) *Conn {
+	if blockSize <= 0 {
+		panic("graph: non-positive block size")
+	}
+	c := NewConn(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p := densityOut
+			if i/blockSize == j/blockSize {
+				p = densityIn
+			}
+			if rng.Float64() < p {
+				c.Set(i, j)
+				c.Set(j, i)
+			}
+		}
+	}
+	return c
+}

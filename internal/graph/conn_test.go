@@ -1,0 +1,397 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConnEmpty(t *testing.T) {
+	c := NewConn(10)
+	if c.N() != 10 || c.NNZ() != 0 {
+		t.Fatalf("N=%d NNZ=%d, want 10, 0", c.N(), c.NNZ())
+	}
+	if c.Sparsity() != 1 {
+		t.Fatalf("empty sparsity = %g, want 1", c.Sparsity())
+	}
+}
+
+func TestNewConnNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewConn(-1) did not panic")
+		}
+	}()
+	NewConn(-1)
+}
+
+func TestSetHasClear(t *testing.T) {
+	c := NewConn(70) // spans two words per row
+	c.Set(3, 65)
+	if !c.Has(3, 65) {
+		t.Fatal("Has(3,65) = false after Set")
+	}
+	if c.Has(65, 3) {
+		t.Fatal("Has(65,3) = true; Set should be directed")
+	}
+	if c.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", c.NNZ())
+	}
+	c.Set(3, 65) // idempotent
+	if c.NNZ() != 1 {
+		t.Fatalf("NNZ after duplicate Set = %d, want 1", c.NNZ())
+	}
+	c.Clear(3, 65)
+	if c.Has(3, 65) || c.NNZ() != 0 {
+		t.Fatal("Clear did not remove the connection")
+	}
+	c.Clear(3, 65) // idempotent
+	if c.NNZ() != 0 {
+		t.Fatalf("NNZ after duplicate Clear = %d, want 0", c.NNZ())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	c := NewConn(4)
+	for _, f := range []func(){
+		func() { c.Set(4, 0) },
+		func() { c.Has(0, -1) },
+		func() { c.Clear(0, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDegreesAndFanInOut(t *testing.T) {
+	c := NewConn(5)
+	c.Set(0, 1)
+	c.Set(0, 2)
+	c.Set(3, 0)
+	if got := c.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := c.InDegree(0); got != 1 {
+		t.Errorf("InDegree(0) = %d, want 1", got)
+	}
+	if got := c.FanInOut(0); got != 3 {
+		t.Errorf("FanInOut(0) = %d, want 3", got)
+	}
+}
+
+func TestRowNeighborsAcrossWords(t *testing.T) {
+	c := NewConn(130)
+	want := []int{0, 63, 64, 127, 129}
+	for _, j := range want {
+		c.Set(7, j)
+	}
+	got := c.RowNeighbors(7, nil)
+	if len(got) != len(want) {
+		t.Fatalf("RowNeighbors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RowNeighbors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := RandomSparse(40, 0.9, rng)
+	edges := c.Edges()
+	if len(edges) != c.NNZ() {
+		t.Fatalf("Edges count %d != NNZ %d", len(edges), c.NNZ())
+	}
+	rebuilt := NewConn(40)
+	for _, e := range edges {
+		rebuilt.Set(e.From, e.To)
+	}
+	if !rebuilt.Equal(c) {
+		t.Fatal("rebuilding from Edges does not reproduce the matrix")
+	}
+}
+
+func TestSymmetrizedAndIsSymmetric(t *testing.T) {
+	c := NewConn(4)
+	c.Set(0, 1)
+	c.Set(2, 3)
+	if c.IsSymmetric() {
+		t.Fatal("directed matrix reported symmetric")
+	}
+	s := c.Symmetrized()
+	if !s.IsSymmetric() {
+		t.Fatal("Symmetrized result not symmetric")
+	}
+	if !s.Has(1, 0) || !s.Has(3, 2) {
+		t.Fatal("Symmetrized missing mirrored edges")
+	}
+	if !s.Has(0, 1) {
+		t.Fatal("Symmetrized dropped original edges")
+	}
+}
+
+func TestCloneEqualIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := RandomSparse(30, 0.8, rng)
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatal("clone not equal")
+	}
+	d.Set(0, 0)
+	if c.Has(0, 0) {
+		t.Fatal("clone aliases original")
+	}
+	if c.Equal(d) {
+		t.Fatal("Equal missed a difference")
+	}
+}
+
+func TestSubAndCountWithin(t *testing.T) {
+	c := NewConn(6)
+	c.Set(1, 2)
+	c.Set(2, 1)
+	c.Set(1, 5)
+	idx := []int{1, 2, 4}
+	sub := c.Sub(idx)
+	if sub.N() != 3 {
+		t.Fatalf("Sub size = %d, want 3", sub.N())
+	}
+	if !sub.Has(0, 1) || !sub.Has(1, 0) {
+		t.Fatal("Sub lost within-cluster connections")
+	}
+	if sub.NNZ() != 2 {
+		t.Fatalf("Sub NNZ = %d, want 2 (edge to 5 is outside)", sub.NNZ())
+	}
+	if got := c.CountWithin(idx); got != 2 {
+		t.Fatalf("CountWithin = %d, want 2", got)
+	}
+}
+
+func TestSubRejectsBadIndices(t *testing.T) {
+	c := NewConn(3)
+	for _, idx := range [][]int{{0, 3}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sub(%v) did not panic", idx)
+				}
+			}()
+			c.Sub(idx)
+		}()
+	}
+}
+
+func TestRemoveWithin(t *testing.T) {
+	c := NewConn(6)
+	c.Set(1, 2)
+	c.Set(2, 1)
+	c.Set(1, 5)
+	removed := c.RemoveWithin([]int{1, 2})
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if c.Has(1, 2) || c.Has(2, 1) {
+		t.Fatal("within connections survive RemoveWithin")
+	}
+	if !c.Has(1, 5) {
+		t.Fatal("RemoveWithin deleted an outside connection")
+	}
+}
+
+func TestActiveNeurons(t *testing.T) {
+	c := NewConn(6)
+	c.Set(0, 3)
+	active := c.ActiveNeurons()
+	if len(active) != 2 || active[0] != 0 || active[1] != 3 {
+		t.Fatalf("ActiveNeurons = %v, want [0 3]", active)
+	}
+}
+
+func TestLaplacianProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := RandomSparse(25, 0.7, rng)
+	l, d := c.Laplacian()
+	// Rows sum to zero.
+	for i := 0; i < 25; i++ {
+		sum := 0.0
+		for j := 0; j < 25; j++ {
+			sum += l.At(i, j)
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Fatalf("Laplacian row %d sums to %g", i, sum)
+		}
+		if l.At(i, i) != d[i] {
+			t.Fatalf("diagonal %d = %g, degree %g", i, l.At(i, i), d[i])
+		}
+	}
+	// PSD: x'Lx >= 0 for random x (it equals Σ w_ij (x_i - x_j)²/2).
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, 25)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		lx := l.MulVec(x)
+		q := 0.0
+		for i := range x {
+			q += x[i] * lx[i]
+		}
+		if q < -1e-9 {
+			t.Fatalf("x'Lx = %g < 0", q)
+		}
+	}
+}
+
+func TestLaplacianIgnoresSelfLoops(t *testing.T) {
+	c := NewConn(2)
+	c.Set(0, 0)
+	c.Set(0, 1)
+	c.Set(1, 0)
+	l, d := c.Laplacian()
+	if d[0] != 1 {
+		t.Fatalf("degree with self-loop = %g, want 1", d[0])
+	}
+	if l.At(0, 0) != 1 {
+		t.Fatalf("L(0,0) = %g, want 1", l.At(0, 0))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	c := NewConn(7)
+	c.Set(0, 1)
+	c.Set(1, 0)
+	c.Set(2, 3)
+	c.Set(3, 2)
+	c.Set(3, 4)
+	c.Set(4, 3)
+	comps := c.Components()
+	if len(comps) != 4 { // {0,1}, {2,3,4}, {5}, {6}
+		t.Fatalf("components = %v, want 4 of them", comps)
+	}
+	total := 0
+	for _, comp := range comps {
+		total += len(comp)
+	}
+	if total != 7 {
+		t.Fatalf("components cover %d neurons, want 7", total)
+	}
+}
+
+func TestComponentsDirectedInput(t *testing.T) {
+	// A one-way edge still joins a component (components use the
+	// symmetrized network).
+	c := NewConn(3)
+	c.Set(0, 1)
+	comps := c.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want [[0 1] [2]]", comps)
+	}
+}
+
+func TestRandomSparseStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := RandomSparse(200, 0.94, rng)
+	if !c.IsSymmetric() {
+		t.Fatal("RandomSparse not symmetric")
+	}
+	for i := 0; i < 200; i++ {
+		if c.Has(i, i) {
+			t.Fatal("RandomSparse produced a self-connection")
+		}
+	}
+	if s := c.Sparsity(); math.Abs(s-0.94) > 0.02 {
+		t.Fatalf("sparsity = %g, want ≈0.94", s)
+	}
+}
+
+func TestRandomSparseRejectsBadSparsity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RandomSparse(Sparsity=2) did not panic")
+		}
+	}()
+	RandomSparse(5, 2, rand.New(rand.NewSource(1)))
+}
+
+func TestRandomClusteredStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := RandomClustered(120, 30, 0.8, 0.01, rng)
+	if !c.IsSymmetric() {
+		t.Fatal("RandomClustered not symmetric")
+	}
+	in := c.CountWithin([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	if in < 30 { // expect ~72 of 90 possible directed pairs
+		t.Fatalf("within-block density too low: %d", in)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := NewConn(2)
+	c.Set(0, 1)
+	if got, want := c.String(), ".#\n..\n"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: NNZ always equals the number of edges, under random mutation.
+func TestNNZMatchesEdgesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		c := NewConn(n)
+		for op := 0; op < 200; op++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(3) == 0 {
+				c.Clear(i, j)
+			} else {
+				c.Set(i, j)
+			}
+		}
+		return len(c.Edges()) == c.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sub then CountWithin agree: NNZ of the induced sub-network must
+// equal CountWithin of the same index set.
+func TestSubCountWithinAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		c := RandomSparse(n, 0.7, rng)
+		k := 1 + rng.Intn(n)
+		perm := rng.Perm(n)[:k]
+		return c.Sub(perm).NNZ() == c.CountWithin(perm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RemoveWithin removes exactly CountWithin connections and leaves
+// the rest untouched.
+func TestRemoveWithinExactProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		c := RandomSparse(n, 0.6, rng)
+		k := 1 + rng.Intn(n)
+		idx := rng.Perm(n)[:k]
+		want := c.CountWithin(idx)
+		before := c.NNZ()
+		got := c.RemoveWithin(idx)
+		return got == want && c.NNZ() == before-want && c.CountWithin(idx) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

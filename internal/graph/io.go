@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The network text format is a minimal edge list:
+//
+//	autoncs-net v1
+//	n <neurons>
+//	<from> <to>
+//	...
+//
+// Lines starting with '#' and blank lines are ignored. The format is
+// self-describing enough to hand-write test networks and diff in reviews.
+
+const formatHeader = "autoncs-net v1"
+
+// Write serializes the network in the text edge-list format.
+func (c *Conn) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintf(bw, "n %d\n", c.n)
+	var buf []int
+	for i := 0; i < c.n; i++ {
+		buf = c.RowNeighbors(i, buf[:0])
+		for _, j := range buf {
+			fmt.Fprintf(bw, "%d %d\n", i, j)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a network from the text edge-list format.
+func Read(r io.Reader) (*Conn, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+	head, ok := next()
+	if !ok || head != formatHeader {
+		return nil, fmt.Errorf("graph: missing %q header", formatHeader)
+	}
+	sizeLine, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("graph: missing size line")
+	}
+	var n int
+	if _, err := fmt.Sscanf(sizeLine, "n %d", &n); err != nil {
+		return nil, fmt.Errorf("graph: bad size line %q at line %d: %v", sizeLine, line, err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative size %d", n)
+	}
+	c := NewConn(n)
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		var i, j int
+		if _, err := fmt.Sscanf(s, "%d %d", &i, &j); err != nil {
+			return nil, fmt.Errorf("graph: bad edge %q at line %d: %v", s, line, err)
+		}
+		if i < 0 || i >= n || j < 0 || j >= n {
+			return nil, fmt.Errorf("graph: edge %d→%d out of range %d at line %d", i, j, n, line)
+		}
+		c.Set(i, j)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	return c, nil
+}
+
+// Save writes the network to a file.
+func (c *Conn) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return c.Write(f)
+}
+
+// Load reads a network from a file.
+func Load(path string) (*Conn, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

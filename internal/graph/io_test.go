@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := RandomSparse(70, 0.9, rng)
+	var b strings.Builder
+	if err := orig.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig) {
+		t.Fatal("round trip lost connections")
+	}
+}
+
+func TestIOCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+autoncs-net v1
+
+n 3
+# edges
+0 1
+
+2 0
+`
+	c, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has(0, 1) || !c.Has(2, 0) || c.NNZ() != 2 {
+		t.Fatalf("parsed wrong network: %v", c)
+	}
+}
+
+func TestIOErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":  "n 3\n0 1\n",
+		"bad size":   "autoncs-net v1\nn x\n",
+		"no size":    "autoncs-net v1\n",
+		"bad edge":   "autoncs-net v1\nn 2\nfoo bar\n",
+		"edge range": "autoncs-net v1\nn 2\n0 5\n",
+		"neg size":   "autoncs-net v1\nn -2\n",
+		"wrong vers": "autoncs-net v2\nn 2\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	rng := rand.New(rand.NewSource(2))
+	orig := RandomSparse(40, 0.88, rng)
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig) {
+		t.Fatal("file round trip lost connections")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestIORoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		c := NewConn(n)
+		for e := 0; e < rng.Intn(100); e++ {
+			c.Set(rng.Intn(n), rng.Intn(n))
+		}
+		var b strings.Builder
+		if err := c.Write(&b); err != nil {
+			return false
+		}
+		back, err := Read(strings.NewReader(b.String()))
+		return err == nil && back.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

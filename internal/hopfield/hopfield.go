@@ -1,0 +1,259 @@
+// Package hopfield implements the sparse Hopfield networks used as the
+// paper's testbenches: M random quick-response-code-like binary patterns of
+// dimension N are stored by Hebbian learning, the weight matrix is
+// sparsified by magnitude to the reported sparsity, and recognition is
+// verified by noisy recall. The binary topology of the sparsified network is
+// the input to the AutoNCS clustering flow.
+//
+// The paper's QR pattern data is not released; deterministic pseudo-random
+// ±1 patterns are statistically equivalent for the purposes of the flow
+// (see DESIGN.md, substitutions).
+package hopfield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Pattern is a ±1 binary pattern.
+type Pattern []int8
+
+// GenPatterns returns m deterministic pseudo-random ±1 patterns of
+// dimension n, emulating random QR code bitmaps.
+func GenPatterns(m, n int, rng *rand.Rand) []Pattern {
+	if m <= 0 || n <= 0 {
+		panic(fmt.Sprintf("hopfield: invalid pattern set %d×%d", m, n))
+	}
+	out := make([]Pattern, m)
+	for i := range out {
+		p := make(Pattern, n)
+		for j := range p {
+			if rng.Intn(2) == 0 {
+				p[j] = -1
+			} else {
+				p[j] = 1
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Network is a Hopfield network with real-valued weights. Weights are
+// symmetric with a zero diagonal.
+type Network struct {
+	n int
+	w [][]float64 // n×n symmetric, zero diagonal
+}
+
+// N returns the neuron count.
+func (h *Network) N() int { return h.n }
+
+// Weight returns w_ij.
+func (h *Network) Weight(i, j int) float64 { return h.w[i][j] }
+
+// Train builds a Hopfield network storing the given patterns with the
+// Hebbian rule w_ij = (1/M)·Σ_p ξᵖ_i·ξᵖ_j (i≠j).
+func Train(patterns []Pattern) *Network {
+	if len(patterns) == 0 {
+		panic("hopfield: no patterns")
+	}
+	n := len(patterns[0])
+	for i, p := range patterns {
+		if len(p) != n {
+			panic(fmt.Sprintf("hopfield: pattern %d has dim %d, want %d", i, len(p), n))
+		}
+	}
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	inv := 1 / float64(len(patterns))
+	for _, p := range patterns {
+		for i := 0; i < n; i++ {
+			pi := float64(p[i])
+			for j := i + 1; j < n; j++ {
+				v := pi * float64(p[j]) * inv
+				w[i][j] += v
+				w[j][i] += v
+			}
+		}
+	}
+	return &Network{n: n, w: w}
+}
+
+// Sparsify zeroes all but the strongest weights so that the fraction of
+// absent connections reaches at least the target sparsity, and returns the
+// surviving binary topology. Ties in magnitude are broken by index order so
+// the result is deterministic. The kept set is symmetric because the weight
+// matrix is.
+func (h *Network) Sparsify(sparsity float64) *graph.Conn {
+	if sparsity < 0 || sparsity > 1 {
+		panic(fmt.Sprintf("hopfield: sparsity %g out of [0,1]", sparsity))
+	}
+	type entry struct {
+		i, j int
+		mag  float64
+	}
+	var entries []entry
+	for i := 0; i < h.n; i++ {
+		for j := i + 1; j < h.n; j++ {
+			if h.w[i][j] != 0 {
+				entries = append(entries, entry{i, j, math.Abs(h.w[i][j])})
+			}
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		ea, eb := entries[a], entries[b]
+		if ea.mag != eb.mag {
+			return ea.mag > eb.mag
+		}
+		if ea.i != eb.i {
+			return ea.i < eb.i
+		}
+		return ea.j < eb.j
+	})
+	// Each kept (i,j) pair contributes two directed connections of the n²
+	// possible; keep as many pairs as the sparsity budget allows.
+	budget := int(math.Floor((1 - sparsity) * float64(h.n) * float64(h.n) / 2))
+	if budget > len(entries) {
+		budget = len(entries)
+	}
+	cm := graph.NewConn(h.n)
+	kept := make([][]bool, h.n)
+	for i := range kept {
+		kept[i] = make([]bool, h.n)
+	}
+	for _, e := range entries[:budget] {
+		cm.Set(e.i, e.j)
+		cm.Set(e.j, e.i)
+		kept[e.i][e.j] = true
+		kept[e.j][e.i] = true
+	}
+	// Zero the pruned weights so recall uses the sparse network.
+	for i := 0; i < h.n; i++ {
+		for j := 0; j < h.n; j++ {
+			if i != j && !kept[i][j] {
+				h.w[i][j] = 0
+			}
+		}
+	}
+	return cm
+}
+
+// Recall runs synchronous Hopfield updates from the given initial state
+// until a fixed point or maxSteps, returning the final state.
+func (h *Network) Recall(state Pattern, maxSteps int) Pattern {
+	if len(state) != h.n {
+		panic(fmt.Sprintf("hopfield: state dim %d, want %d", len(state), h.n))
+	}
+	cur := append(Pattern(nil), state...)
+	next := make(Pattern, h.n)
+	for step := 0; step < maxSteps; step++ {
+		changed := false
+		for i := 0; i < h.n; i++ {
+			s := 0.0
+			for j, wij := range h.w[i] {
+				if wij != 0 {
+					s += wij * float64(cur[j])
+				}
+			}
+			v := int8(1)
+			if s < 0 {
+				v = -1
+			} else if s == 0 {
+				v = cur[i] // no field: hold state
+			}
+			next[i] = v
+			if v != cur[i] {
+				changed = true
+			}
+		}
+		cur, next = next, cur
+		if !changed {
+			break
+		}
+	}
+	return cur
+}
+
+// Corrupt flips the given fraction of bits of p, chosen uniformly without
+// replacement, and returns the corrupted copy.
+func Corrupt(p Pattern, fraction float64, rng *rand.Rand) Pattern {
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("hopfield: corruption fraction %g out of [0,1]", fraction))
+	}
+	out := append(Pattern(nil), p...)
+	k := int(math.Round(fraction * float64(len(p))))
+	for _, idx := range rng.Perm(len(p))[:k] {
+		out[idx] = -out[idx]
+	}
+	return out
+}
+
+// Overlap returns the fraction of positions where a and b agree.
+func Overlap(a, b Pattern) float64 {
+	if len(a) != len(b) {
+		panic("hopfield: overlap of mismatched patterns")
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(len(a))
+}
+
+// RecognitionRate corrupts each stored pattern with the given noise
+// fraction, recalls it, and returns the fraction of patterns recovered to at
+// least matchThreshold overlap (a pattern and its negation are equivalent
+// attractors, so the larger of the two overlaps counts).
+func (h *Network) RecognitionRate(patterns []Pattern, noise, matchThreshold float64, rng *rand.Rand) float64 {
+	if len(patterns) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, p := range patterns {
+		rec := h.Recall(Corrupt(p, noise, rng), 50)
+		ov := Overlap(rec, p)
+		if 1-ov > ov {
+			ov = 1 - ov
+		}
+		if ov >= matchThreshold {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(patterns))
+}
+
+// Testbench describes one of the paper's three benchmarks (Section 4.1).
+type Testbench struct {
+	ID       int
+	M, N     int     // patterns stored, pattern dimension
+	Sparsity float64 // network sparsity after sparsification
+}
+
+// Testbenches returns the paper's three (M, N, sparsity) configurations.
+func Testbenches() []Testbench {
+	return []Testbench{
+		{ID: 1, M: 15, N: 300, Sparsity: 0.9447},
+		{ID: 2, M: 20, N: 400, Sparsity: 0.9359},
+		{ID: 3, M: 30, N: 500, Sparsity: 0.9439},
+	}
+}
+
+// Build trains, sparsifies, and returns the connection matrix of the
+// testbench along with the trained (sparsified) network and its patterns.
+// All randomness derives from seed.
+func (tb Testbench) Build(seed int64) (*graph.Conn, *Network, []Pattern) {
+	rng := rand.New(rand.NewSource(seed))
+	patterns := GenPatterns(tb.M, tb.N, rng)
+	net := Train(patterns)
+	cm := net.Sparsify(tb.Sparsity)
+	return cm, net, patterns
+}

@@ -1,0 +1,250 @@
+package hopfield
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenPatternsShapeAndDeterminism(t *testing.T) {
+	a := GenPatterns(5, 40, rand.New(rand.NewSource(9)))
+	b := GenPatterns(5, 40, rand.New(rand.NewSource(9)))
+	if len(a) != 5 || len(a[0]) != 40 {
+		t.Fatalf("shape %d×%d, want 5×40", len(a), len(a[0]))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different patterns")
+			}
+			if a[i][j] != 1 && a[i][j] != -1 {
+				t.Fatalf("pattern value %d not ±1", a[i][j])
+			}
+		}
+	}
+}
+
+func TestGenPatternsInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GenPatterns(0, 5) did not panic")
+		}
+	}()
+	GenPatterns(0, 5, rand.New(rand.NewSource(1)))
+}
+
+func TestTrainSymmetricZeroDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pats := GenPatterns(4, 30, rng)
+	h := Train(pats)
+	for i := 0; i < h.N(); i++ {
+		if h.Weight(i, i) != 0 {
+			t.Fatalf("diagonal weight %d non-zero", i)
+		}
+		for j := 0; j < h.N(); j++ {
+			if h.Weight(i, j) != h.Weight(j, i) {
+				t.Fatalf("asymmetric weight at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTrainHebbianValues(t *testing.T) {
+	// Single pattern: w_ij = ξ_i ξ_j exactly.
+	p := Pattern{1, -1, 1}
+	h := Train([]Pattern{p})
+	if h.Weight(0, 1) != -1 || h.Weight(0, 2) != 1 || h.Weight(1, 2) != -1 {
+		t.Fatalf("weights %g %g %g", h.Weight(0, 1), h.Weight(0, 2), h.Weight(1, 2))
+	}
+}
+
+func TestTrainPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"empty":  func() { Train(nil) },
+		"ragged": func() { Train([]Pattern{{1, -1}, {1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDenseRecallStoredPatternsAreFixedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pats := GenPatterns(3, 60, rng)
+	h := Train(pats)
+	for i, p := range pats {
+		rec := h.Recall(p, 10)
+		if Overlap(rec, p) < 0.99 {
+			t.Fatalf("stored pattern %d not a fixed point: overlap %g", i, Overlap(rec, p))
+		}
+	}
+}
+
+func TestSparsifyReachesTargetSparsity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pats := GenPatterns(10, 100, rng)
+	h := Train(pats)
+	cm := h.Sparsify(0.94)
+	if !cm.IsSymmetric() {
+		t.Fatal("sparsified topology not symmetric")
+	}
+	if s := cm.Sparsity(); s < 0.94-1e-9 || s > 0.96 {
+		t.Fatalf("sparsity = %g, want ≈0.94", s)
+	}
+	// Weights outside the kept topology must be zeroed.
+	for i := 0; i < h.N(); i++ {
+		for j := 0; j < h.N(); j++ {
+			if i != j && !cm.Has(i, j) && h.Weight(i, j) != 0 {
+				t.Fatalf("pruned weight (%d,%d) survives", i, j)
+			}
+			if cm.Has(i, j) && h.Weight(i, j) == 0 {
+				t.Fatalf("kept connection (%d,%d) has zero weight", i, j)
+			}
+		}
+	}
+}
+
+func TestSparsifyInvalidPanics(t *testing.T) {
+	h := Train(GenPatterns(2, 10, rand.New(rand.NewSource(1))))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sparsify(1.5) did not panic")
+		}
+	}()
+	h.Sparsify(1.5)
+}
+
+func TestSparsifyKeepsStrongestWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pats := GenPatterns(8, 50, rng)
+	h := Train(pats)
+	// Record magnitudes before sparsify zeroes pruned ones.
+	mags := make([][]float64, h.N())
+	for i := range mags {
+		mags[i] = make([]float64, h.N())
+		for j := 0; j < h.N(); j++ {
+			mags[i][j] = math.Abs(h.Weight(i, j))
+		}
+	}
+	cm := h.Sparsify(0.9)
+	minKept, maxPruned := math.Inf(1), 0.0
+	for i := 0; i < h.N(); i++ {
+		for j := i + 1; j < h.N(); j++ {
+			if cm.Has(i, j) {
+				if mags[i][j] < minKept {
+					minKept = mags[i][j]
+				}
+			} else if mags[i][j] > maxPruned {
+				maxPruned = mags[i][j]
+			}
+		}
+	}
+	if minKept < maxPruned {
+		t.Fatalf("kept weight %g weaker than pruned weight %g", minKept, maxPruned)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := GenPatterns(1, 100, rng)[0]
+	c := Corrupt(p, 0.1, rng)
+	flips := 0
+	for i := range p {
+		if p[i] != c[i] {
+			flips++
+		}
+	}
+	if flips != 10 {
+		t.Fatalf("Corrupt flipped %d bits, want 10", flips)
+	}
+	// Zero corruption is the identity.
+	z := Corrupt(p, 0, rng)
+	if Overlap(p, z) != 1 {
+		t.Fatal("Corrupt(0) changed the pattern")
+	}
+}
+
+func TestOverlapMismatchedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Overlap mismatch did not panic")
+		}
+	}()
+	Overlap(Pattern{1}, Pattern{1, 1})
+}
+
+func TestTestbenchesMatchPaper(t *testing.T) {
+	tbs := Testbenches()
+	want := []struct {
+		m, n int
+		sp   float64
+	}{{15, 300, 0.9447}, {20, 400, 0.9359}, {30, 500, 0.9439}}
+	if len(tbs) != 3 {
+		t.Fatalf("%d testbenches, want 3", len(tbs))
+	}
+	for i, tb := range tbs {
+		if tb.M != want[i].m || tb.N != want[i].n || tb.Sparsity != want[i].sp {
+			t.Errorf("testbench %d = %+v, want %+v", i+1, tb, want[i])
+		}
+	}
+}
+
+func TestTestbenchBuildSmallVariant(t *testing.T) {
+	// A scaled-down testbench keeps CI fast while exercising Build.
+	tb := Testbench{ID: 0, M: 8, N: 120, Sparsity: 0.90}
+	cm, net, pats := tb.Build(7)
+	if cm.N() != 120 || net.N() != 120 || len(pats) != 8 {
+		t.Fatalf("Build shapes wrong: %d %d %d", cm.N(), net.N(), len(pats))
+	}
+	if s := cm.Sparsity(); s < 0.899 || s > 0.93 {
+		t.Fatalf("sparsity %g, want ≈0.90", s)
+	}
+	// The paper reports >90% recognition; a sparse Hopfield net under
+	// mild noise must still recall most patterns.
+	rate := net.RecognitionRate(pats, 0.05, 0.95, rand.New(rand.NewSource(11)))
+	if rate < 0.9 {
+		t.Fatalf("recognition rate %g < 0.9", rate)
+	}
+}
+
+func TestRecognitionRateEmpty(t *testing.T) {
+	h := Train(GenPatterns(1, 10, rand.New(rand.NewSource(1))))
+	if got := h.RecognitionRate(nil, 0.1, 0.9, rand.New(rand.NewSource(1))); got != 0 {
+		t.Fatalf("empty recognition rate = %g", got)
+	}
+}
+
+// Property: sparsify never exceeds the connection budget implied by the
+// target sparsity and the topology is always symmetric with an empty
+// diagonal.
+func TestSparsifyBudgetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 2+rng.Intn(6), 20+rng.Intn(60)
+		sp := 0.7 + 0.29*rng.Float64()
+		h := Train(GenPatterns(m, n, rng))
+		cm := h.Sparsify(sp)
+		if float64(cm.NNZ()) > (1-sp)*float64(n)*float64(n)+1e-9 {
+			return false
+		}
+		if !cm.IsSymmetric() {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if cm.Has(i, i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

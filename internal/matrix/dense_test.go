@@ -1,0 +1,233 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims = %d×%d, want 3×4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %g, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewDenseNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDense(-1, 2) did not panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestNewDenseFrom(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("unexpected contents:\n%v", m)
+	}
+}
+
+func TestNewDenseFromRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged NewDenseFrom did not panic")
+		}
+	}()
+	NewDenseFrom([][]float64{{1, 2}, {3}})
+}
+
+func TestNewDenseFromEmpty(t *testing.T) {
+	m := NewDenseFrom(nil)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("dims = %d×%d, want 0×0", m.Rows(), m.Cols())
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Fatalf("At(0,1) = %g, want 7.5", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := NewDense(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestRowColClone(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	row := m.Row(1)
+	col := m.Col(2)
+	if row[0] != 4 || row[2] != 6 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	if col[0] != 3 || col[1] != 6 {
+		t.Errorf("Col(2) = %v", col)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone aliases original storage")
+	}
+	// Row and Col must be copies too.
+	row[0] = -1
+	if m.At(1, 0) == -1 {
+		t.Error("Row aliases original storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("T dims = %d×%d, want 3×2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if got.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %g, want %g", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Mul did not panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	got := m.MulVec([]float64{1, -1})
+	if got[0] != -1 || got[1] != -1 {
+		t.Fatalf("MulVec = %v, want [-1 -1]", got)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	x := []float64{1, 2, 3, 4}
+	got := id.MulVec(x)
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatalf("Identity·x = %v", got)
+		}
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := NewDenseFrom([][]float64{{1, 2}, {2, 1}})
+	if !s.IsSymmetric(0) {
+		t.Error("symmetric matrix reported as asymmetric")
+	}
+	a := NewDenseFrom([][]float64{{1, 2}, {3, 1}})
+	if a.IsSymmetric(0.5) {
+		t.Error("asymmetric matrix reported as symmetric")
+	}
+	if !a.IsSymmetric(2) {
+		t.Error("tolerance not honored")
+	}
+	if NewDense(2, 3).IsSymmetric(1e9) {
+		t.Error("non-square matrix reported as symmetric")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := NewDenseFrom([][]float64{{-7, 2}, {3, 1}})
+	if got := m.MaxAbs(); got != 7 {
+		t.Fatalf("MaxAbs = %g, want 7", got)
+	}
+	if got := NewDense(0, 0).MaxAbs(); got != 0 {
+		t.Fatalf("empty MaxAbs = %g, want 0", got)
+	}
+}
+
+// PropertyTransposeInvolution: (Mᵀ)ᵀ == M for random matrices.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewDense(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		tt := m.T().T()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// PropertyMulAssociativeWithVector: (A·B)·x == A·(B·x) within tolerance.
+func TestMulVecCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a, b := NewDense(n, n), NewDense(n, n)
+		x := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+				b.Set(i, j, rng.NormFloat64())
+			}
+		}
+		lhs := Mul(a, b).MulVec(x)
+		rhs := a.MulVec(b.MulVec(x))
+		for i := range lhs {
+			if math.Abs(lhs[i]-rhs[i]) > 1e-9*(1+math.Abs(rhs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,294 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigSym computes the full eigendecomposition of a real symmetric matrix.
+// It returns the eigenvalues in ascending order and a matrix whose j-th
+// column is the unit eigenvector for the j-th eigenvalue.
+//
+// The implementation is the classic two-stage dense symmetric solver:
+// Householder reduction to tridiagonal form (tred2) followed by QL
+// iteration with implicit shifts (tql2), both accumulating the orthogonal
+// transformations. It panics if a is not square and returns an error if the
+// QL iteration fails to converge (which for symmetric input essentially
+// never happens).
+func EigSym(a *Dense) (values []float64, vectors *Dense, err error) {
+	if a.Rows() != a.Cols() {
+		panic(fmt.Sprintf("matrix: EigSym of non-square %d×%d matrix", a.Rows(), a.Cols()))
+	}
+	n := a.Rows()
+	if n == 0 {
+		return nil, NewDense(0, 0), nil
+	}
+	v := a.Clone() // tred2 works in place on the eigenvector accumulator
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(v, d, e)
+	if err := tql2(v, d, e); err != nil {
+		return nil, nil, err
+	}
+	sortEig(d, v)
+	return d, v, nil
+}
+
+// tred2 performs a Householder reduction of the symmetric matrix held in v
+// to tridiagonal form, accumulating the transformations in v. On return d
+// holds the diagonal and e the subdiagonal (e[0] == 0).
+func tred2(v *Dense, d, e []float64) {
+	n := v.Rows()
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+	}
+	for i := n - 1; i > 0; i-- {
+		// Scale to avoid under/overflow.
+		scale, h := 0.0, 0.0
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		} else {
+			// Generate the Householder vector.
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			// Apply similarity transformation to remaining columns.
+			for j := 0; j < i; j++ {
+				f = d[j]
+				v.Set(j, i, f)
+				g = e[j] + v.At(j, j)*f
+				for k := j + 1; k <= i-1; k++ {
+					g += v.At(k, j) * d[k]
+					e[k] += v.At(k, j) * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					v.Add(k, j, -(f*e[k] + g*d[k]))
+				}
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v.Set(n-1, i, v.At(i, i))
+		v.Set(i, i, 1)
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v.At(k, i+1) / h
+			}
+			for j := 0; j <= i; j++ {
+				g := 0.0
+				for k := 0; k <= i; k++ {
+					g += v.At(k, i+1) * v.At(k, j)
+				}
+				for k := 0; k <= i; k++ {
+					v.Add(k, j, -g*d[k])
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v.Set(k, i+1, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+		v.Set(n-1, j, 0)
+	}
+	v.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// maxQLIterations bounds the implicit-shift QL sweeps per eigenvalue.
+const maxQLIterations = 64
+
+// tql2 diagonalizes the symmetric tridiagonal matrix (d, e) by the QL
+// algorithm with implicit shifts, updating the eigenvector accumulator v.
+func tql2(v *Dense, d, e []float64) error {
+	n := v.Rows()
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f, tst1 := 0.0, 0.0
+	const eps = 0x1p-52
+	for l := 0; l < n; l++ {
+		// Find a small subdiagonal element.
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		// If m == l, d[l] is already an eigenvalue; otherwise iterate.
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter >= maxQLIterations {
+					return fmt.Errorf("matrix: QL iteration failed to converge for eigenvalue %d", l)
+				}
+				// Compute implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL transformation.
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Accumulate transformation.
+					for k := 0; k < n; k++ {
+						h = v.At(k, i+1)
+						v.Set(k, i+1, s*v.At(k, i)+c*h)
+						v.Set(k, i, c*v.At(k, i)-s*h)
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	return nil
+}
+
+// sortEig sorts eigenvalues ascending and permutes the eigenvector columns
+// to match.
+func sortEig(d []float64, v *Dense) {
+	n := len(d)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return d[idx[a]] < d[idx[b]] })
+	dOld := make([]float64, n)
+	copy(dOld, d)
+	vOld := v.Clone()
+	for newJ, oldJ := range idx {
+		d[newJ] = dOld[oldJ]
+		for i := 0; i < n; i++ {
+			v.Set(i, newJ, vOld.At(i, oldJ))
+		}
+	}
+}
+
+// GeneralizedSym solves the generalized symmetric eigenproblem
+// L·u = λ·D·u where L is symmetric and D is diagonal with strictly
+// positive entries (passed as a slice). It returns eigenvalues ascending and
+// the matrix U whose columns are the generalized eigenvectors.
+//
+// The problem is reduced to a standard symmetric one via the congruence
+// transform M = D^{-1/2}·L·D^{-1/2}; if M·w = λ·w then u = D^{-1/2}·w.
+// This is exactly the relationship between the random-walk and symmetric
+// normalized graph Laplacians exploited by spectral clustering.
+//
+// It returns an error if any diagonal entry of D is not strictly positive
+// or if the eigensolver fails to converge.
+func GeneralizedSym(l *Dense, d []float64) (values []float64, u *Dense, err error) {
+	n := l.Rows()
+	if l.Cols() != n {
+		panic(fmt.Sprintf("matrix: GeneralizedSym of non-square %d×%d matrix", n, l.Cols()))
+	}
+	if len(d) != n {
+		panic(fmt.Sprintf("matrix: GeneralizedSym diagonal length %d, want %d", len(d), n))
+	}
+	invSqrt := make([]float64, n)
+	for i, di := range d {
+		if di <= 0 || math.IsNaN(di) || math.IsInf(di, 0) {
+			return nil, nil, fmt.Errorf("matrix: GeneralizedSym requires positive diagonal, d[%d]=%g", i, di)
+		}
+		invSqrt[i] = 1 / math.Sqrt(di)
+	}
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, l.At(i, j)*invSqrt[i]*invSqrt[j])
+		}
+	}
+	// Enforce exact symmetry lost to rounding.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			avg := 0.5 * (m.At(i, j) + m.At(j, i))
+			m.Set(i, j, avg)
+			m.Set(j, i, avg)
+		}
+	}
+	vals, w, err := EigSym(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	u = NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			u.Set(i, j, invSqrt[i]*w.At(i, j))
+		}
+	}
+	return vals, u, nil
+}

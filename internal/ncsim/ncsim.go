@@ -1,0 +1,303 @@
+// Package ncsim is a functional simulator for the compiled neuromorphic
+// system: it executes Hopfield recall *through the hybrid hardware* — every
+// crossbar modelled with the device package's IR-drop and process-variation
+// circuit model, every discrete synapse as a single (varied) memristor —
+// and measures how much recognition quality the analog substrate costs
+// versus the ideal software network. This closes the loop the paper leaves
+// implicit: the mapping preserves the topology, and the simulator verifies
+// the topology still computes.
+package ncsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/device"
+	"repro/internal/graph"
+	"repro/internal/hopfield"
+	"repro/internal/xbar"
+)
+
+// Machine is a compiled NCS instance ready to execute recall steps.
+type Machine struct {
+	n        int
+	assign   *xbar.Assignment
+	params   device.CrossbarParams
+	ideal    bool
+	crossbar []*hwCrossbar
+	synapses []hwSynapse
+	// weightOf returns the stored Hopfield weight of a connection.
+	weightOf func(from, to int) float64
+}
+
+// hwCrossbar couples a mapped crossbar with its circuit model. Positive
+// and negative weights use two device columns (the standard differential
+// scheme), realized here as two separate device arrays.
+type hwCrossbar struct {
+	pos, neg *device.Crossbar
+	rows     []int       // neuron id per crossbar row
+	cols     []int       // neuron id per crossbar column
+	rowIdx   map[int]int // neuron id → row
+	colIdx   map[int]int // neuron id → column
+}
+
+// hwSynapse is one discrete connection with its device pair.
+type hwSynapse struct {
+	from, to int
+	pos, neg *device.Memristor
+}
+
+// Options configures the build.
+type Options struct {
+	// Params is the circuit model; zero value means the default 45 nm one.
+	Params device.CrossbarParams
+	// Ideal bypasses the resistor-network solve (no IR drop); device
+	// variation still applies through programming tolerance.
+	Ideal bool
+	// ProgramTol is the write-verify tolerance (state units). Zero = 0.02.
+	ProgramTol float64
+	// Seed drives process variation.
+	Seed int64
+}
+
+// Build compiles an assignment plus the trained (sparsified) Hopfield
+// network into an executable machine: every mapped connection's weight is
+// programmed into its crossbar cell (differential pair for signed weights),
+// every outlier into a discrete synapse.
+func Build(a *xbar.Assignment, net *hopfield.Network, opts Options) (*Machine, error) {
+	if a == nil || net == nil {
+		return nil, fmt.Errorf("ncsim: nil assignment or network")
+	}
+	if a.N != net.N() {
+		return nil, fmt.Errorf("ncsim: assignment over %d neurons, network has %d", a.N, net.N())
+	}
+	params := opts.Params
+	if params.VRead == 0 {
+		params = device.DefaultCrossbarParams()
+	}
+	tol := opts.ProgramTol
+	if tol == 0 {
+		tol = 0.02
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	m := &Machine{
+		n:      a.N,
+		assign: a,
+		params: params,
+		ideal:  opts.Ideal,
+	}
+	// Normalize weights to device state range: |w| ≤ wMax maps to [0,1].
+	wMax := 0.0
+	for i := 0; i < net.N(); i++ {
+		for j := 0; j < net.N(); j++ {
+			if w := net.Weight(i, j); w > wMax {
+				wMax = w
+			} else if -w > wMax {
+				wMax = -w
+			}
+		}
+	}
+	if wMax == 0 {
+		return nil, fmt.Errorf("ncsim: network has no non-zero weights")
+	}
+	program := func(dev *device.Memristor, state float64) {
+		dev.Program(state, tol, 500)
+	}
+	for _, cb := range a.Crossbars {
+		rows := dedupSorted(froms(cb.Conns))
+		cols := dedupSorted(tos(cb.Conns))
+		if len(rows) == 0 {
+			continue
+		}
+		pos, err := device.NewCrossbar(cb.Size, params, rng)
+		if err != nil {
+			return nil, err
+		}
+		neg, err := device.NewCrossbar(cb.Size, params, rng)
+		if err != nil {
+			return nil, err
+		}
+		h := &hwCrossbar{
+			pos: pos, neg: neg,
+			rows: rows, cols: cols,
+			rowIdx: indexOf(rows), colIdx: indexOf(cols),
+		}
+		for _, e := range cb.Conns {
+			w := net.Weight(e.From, e.To) / wMax
+			r, c := h.rowIdx[e.From], h.colIdx[e.To]
+			if w >= 0 {
+				program(pos.Cell(r, c), w)
+			} else {
+				program(neg.Cell(r, c), -w)
+			}
+		}
+		m.crossbar = append(m.crossbar, h)
+	}
+	for _, e := range a.Synapses {
+		w := net.Weight(e.From, e.To) / wMax
+		pd, err := device.NewMemristor(params.Device, rng)
+		if err != nil {
+			return nil, err
+		}
+		nd, err := device.NewMemristor(params.Device, rng)
+		if err != nil {
+			return nil, err
+		}
+		if w >= 0 {
+			program(pd, w)
+		} else {
+			program(nd, -w)
+		}
+		m.synapses = append(m.synapses, hwSynapse{from: e.From, to: e.To, pos: pd, neg: nd})
+	}
+	m.weightOf = func(from, to int) float64 { return net.Weight(from, to) }
+	return m, nil
+}
+
+func froms(es []graph.Edge) []int {
+	out := make([]int, len(es))
+	for i, e := range es {
+		out[i] = e.From
+	}
+	return out
+}
+
+func tos(es []graph.Edge) []int {
+	out := make([]int, len(es))
+	for i, e := range es {
+		out[i] = e.To
+	}
+	return out
+}
+
+func dedupSorted(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func indexOf(xs []int) map[int]int {
+	m := make(map[int]int, len(xs))
+	for i, x := range xs {
+		m[x] = i
+	}
+	return m
+}
+
+// Step performs one synchronous update of the network state through the
+// hardware: crossbars are read with the state as row voltages (±VRead for
+// ±1), synapse currents are added pointwise, and each neuron thresholds its
+// summed input current (integrate-and-fire with the sign of the net
+// differential current; zero field holds the previous state).
+func (m *Machine) Step(state hopfield.Pattern) (hopfield.Pattern, error) {
+	if len(state) != m.n {
+		return nil, fmt.Errorf("ncsim: state dim %d, want %d", len(state), m.n)
+	}
+	field := make([]float64, m.n)
+	gOff := 1 / m.params.Device.ROff
+	for _, h := range m.crossbar {
+		size := h.pos.Size()
+		rowV := make([]float64, size)
+		active := 0.0
+		for r, neuron := range h.rows {
+			rowV[r] = m.params.VRead * float64(state[neuron])
+			if rowV[r] != 0 {
+				active++
+			}
+		}
+		var ip, in []float64
+		var err error
+		if m.ideal {
+			ip, in = h.pos.ReadIdeal(rowV), h.neg.ReadIdeal(rowV)
+		} else {
+			ip, err = h.pos.Read(rowV)
+			if err != nil {
+				return nil, err
+			}
+			in, err = h.neg.Read(rowV)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for c, neuron := range h.cols {
+			// Differential current; the off-state baselines of the two
+			// arrays cancel to first order.
+			field[neuron] += ip[c] - in[c]
+			_ = gOff
+		}
+	}
+	for _, s := range m.synapses {
+		v := m.params.VRead * float64(state[s.from])
+		field[s.to] += v * (s.pos.Conductance() - s.neg.Conductance())
+	}
+	next := make(hopfield.Pattern, m.n)
+	for i, f := range field {
+		switch {
+		case f > 0:
+			next[i] = 1
+		case f < 0:
+			next[i] = -1
+		default:
+			next[i] = state[i]
+		}
+	}
+	return next, nil
+}
+
+// Recall iterates Step until a fixed point or maxSteps.
+func (m *Machine) Recall(state hopfield.Pattern, maxSteps int) (hopfield.Pattern, error) {
+	cur := append(hopfield.Pattern(nil), state...)
+	for step := 0; step < maxSteps; step++ {
+		next, err := m.Step(cur)
+		if err != nil {
+			return nil, err
+		}
+		same := true
+		for i := range next {
+			if next[i] != cur[i] {
+				same = false
+				break
+			}
+		}
+		cur = next
+		if same {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// RecognitionRate corrupts each pattern, recalls it through the hardware,
+// and returns the fraction recovered to at least matchThreshold overlap
+// (sign-symmetric, as in the software model).
+func (m *Machine) RecognitionRate(patterns []hopfield.Pattern, noise, matchThreshold float64, rng *rand.Rand) (float64, error) {
+	if len(patterns) == 0 {
+		return 0, nil
+	}
+	hit := 0
+	for _, p := range patterns {
+		rec, err := m.Recall(hopfield.Corrupt(p, noise, rng), 30)
+		if err != nil {
+			return 0, err
+		}
+		ov := hopfield.Overlap(rec, p)
+		if 1-ov > ov {
+			ov = 1 - ov
+		}
+		if ov >= matchThreshold {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(patterns)), nil
+}

@@ -1,0 +1,191 @@
+package ncsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/hopfield"
+	"repro/internal/xbar"
+)
+
+// buildMachine compiles a small Hopfield testbench through ISC and onto
+// the simulated hardware.
+func buildMachine(t *testing.T, ideal bool) (*Machine, []hopfield.Pattern, *hopfield.Network) {
+	t.Helper()
+	tb := hopfield.Testbench{M: 4, N: 60, Sparsity: 0.85}
+	cm, net, patterns := tb.Build(3)
+	lib, err := xbar.NewLibrary(8, 12, 16, 24, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.ISC(cm, core.ISCOptions{
+		Library:              lib,
+		UtilizationThreshold: 0.02,
+		Rand:                 rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(cm); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(res.Assignment, net, Options{Ideal: ideal, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, patterns, net
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, nil, Options{}); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+	tb := hopfield.Testbench{M: 3, N: 30, Sparsity: 0.8}
+	_, net, _ := tb.Build(1)
+	a := &xbar.Assignment{N: 10} // dimension mismatch
+	if _, err := Build(a, net, Options{}); err == nil {
+		t.Fatal("mismatched dimensions accepted")
+	}
+}
+
+func TestIdealMachineRecallsStoredPatterns(t *testing.T) {
+	m, patterns, _ := buildMachine(t, true)
+	hits := 0
+	for _, p := range patterns {
+		rec, err := m.Recall(p, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov := hopfield.Overlap(rec, p)
+		if 1-ov > ov {
+			ov = 1 - ov
+		}
+		if ov >= 0.9 {
+			hits++
+		}
+	}
+	// Stored patterns are attractors of the sparse network; the hardware
+	// (ideal wires, programmed devices) must hold most of them.
+	if hits < len(patterns)-1 {
+		t.Fatalf("ideal hardware holds only %d of %d stored patterns", hits, len(patterns))
+	}
+}
+
+func TestHardwareRecognitionUnderNoise(t *testing.T) {
+	m, patterns, net := buildMachine(t, true)
+	rate, err := m.RecognitionRate(patterns, 0.05, 0.9, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swRate := net.RecognitionRate(patterns, 0.05, 0.9, rand.New(rand.NewSource(2)))
+	if rate < swRate-0.5 {
+		t.Fatalf("hardware rate %.2f collapsed vs software %.2f", rate, swRate)
+	}
+}
+
+func TestNonIdealMachineRuns(t *testing.T) {
+	// With IR drop enabled the machine must still execute; quality may
+	// degrade but the step must complete and return a valid pattern.
+	m, patterns, _ := buildMachine(t, false)
+	next, err := m.Step(patterns[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next) != len(patterns[0]) {
+		t.Fatalf("step returned %d states, want %d", len(next), len(patterns[0]))
+	}
+	for _, v := range next {
+		if v != 1 && v != -1 {
+			t.Fatalf("state value %d not ±1", v)
+		}
+	}
+}
+
+func TestStepDimensionCheck(t *testing.T) {
+	m, _, _ := buildMachine(t, true)
+	if _, err := m.Step(hopfield.Pattern{1, -1}); err == nil {
+		t.Fatal("wrong state dimension accepted")
+	}
+}
+
+func TestRecognitionRateEmptyPatterns(t *testing.T) {
+	m, _, _ := buildMachine(t, true)
+	rate, err := m.RecognitionRate(nil, 0.1, 0.9, rand.New(rand.NewSource(1)))
+	if err != nil || rate != 0 {
+		t.Fatalf("rate=%g err=%v", rate, err)
+	}
+}
+
+func TestBuildProgramsDifferentialPairs(t *testing.T) {
+	m, _, net := buildMachine(t, true)
+	// Spot-check one crossbar: a positive weight lands in the pos array, a
+	// negative one in the neg array.
+	if len(m.crossbar) == 0 {
+		t.Skip("no crossbars mapped at this scale")
+	}
+	h := m.crossbar[0]
+	checked := false
+	for _, cbAssign := range m.assign.Crossbars {
+		rows := dedupSorted(froms(cbAssign.Conns))
+		if len(rows) == 0 || rows[0] != h.rows[0] {
+			continue
+		}
+		for _, e := range cbAssign.Conns {
+			w := net.Weight(e.From, e.To)
+			r, c := h.rowIdx[e.From], h.colIdx[e.To]
+			posState := h.pos.Cell(r, c).State()
+			negState := h.neg.Cell(r, c).State()
+			if w > 0 && posState <= negState {
+				t.Fatalf("positive weight %g stored as pos=%g neg=%g", w, posState, negState)
+			}
+			if w < 0 && negState <= posState {
+				t.Fatalf("negative weight %g stored as pos=%g neg=%g", w, posState, negState)
+			}
+			checked = true
+		}
+		break
+	}
+	if !checked {
+		t.Skip("no matching crossbar found for spot check")
+	}
+}
+
+func TestDeviceVariationChangesMachine(t *testing.T) {
+	tb := hopfield.Testbench{M: 3, N: 40, Sparsity: 0.85}
+	cm, net, _ := tb.Build(4)
+	lib, _ := xbar.NewLibrary(8, 16, 24)
+	res, err := core.ISC(cm, core.ISCOptions{
+		Library:              lib,
+		UtilizationThreshold: 0.02,
+		Rand:                 rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := device.DefaultCrossbarParams()
+	p.Device.Sigma = 0.4 // exaggerated variation
+	m1, err := Build(res.Assignment, net, Options{Params: p, Ideal: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Build(res.Assignment, net, Options{Params: p, Ideal: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different variation seeds must produce physically different machines
+	// (spot-check conductances differ somewhere).
+	if len(m1.synapses) > 0 && len(m2.synapses) > 0 {
+		same := true
+		for i := range m1.synapses {
+			if m1.synapses[i].pos.Conductance() != m2.synapses[i].pos.Conductance() {
+				same = false
+				break
+			}
+		}
+		if same && len(m1.synapses) > 3 {
+			t.Fatal("different seeds produced identical devices")
+		}
+	}
+}

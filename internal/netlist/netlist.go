@@ -1,0 +1,181 @@
+// Package netlist converts a hybrid crossbar/synapse assignment into the
+// cell-and-wire netlist consumed by the placement and routing stages. Cells
+// are mixed-size (crossbars, neurons, discrete synapses) and are not
+// required to align into rows; wires are two-pin with RC-derived weights
+// (Section 3.5).
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/xbar"
+)
+
+// CellKind discriminates the three cell types of the physical design.
+type CellKind int
+
+// The cell kinds of the hybrid NCS.
+const (
+	KindCrossbar CellKind = iota
+	KindNeuron
+	KindSynapse
+)
+
+// String returns the kind name.
+func (k CellKind) String() string {
+	switch k {
+	case KindCrossbar:
+		return "crossbar"
+	case KindNeuron:
+		return "neuron"
+	case KindSynapse:
+		return "synapse"
+	default:
+		return fmt.Sprintf("CellKind(%d)", int(k))
+	}
+}
+
+// Cell is one placeable component.
+type Cell struct {
+	ID    int
+	Kind  CellKind
+	W, H  float64 // physical footprint in µm
+	Delay float64 // intrinsic component delay in ns (0 for neurons)
+	// Ref identifies the source object: the crossbar index within the
+	// assignment, the global neuron id, or the synapse index.
+	Ref int
+}
+
+// Area returns the cell footprint in µm².
+func (c Cell) Area() float64 { return c.W * c.H }
+
+// Wire is a two-pin connection between cells.
+type Wire struct {
+	ID       int
+	From, To int     // cell IDs
+	Weight   float64 // placement weight (RC-derived criticality)
+}
+
+// Netlist is the physical design input: cells plus weighted wires.
+type Netlist struct {
+	Cells []Cell
+	Wires []Wire
+	// NeuronCell maps a global neuron id to its cell ID (only neurons that
+	// participate in at least one connection get a cell).
+	NeuronCell map[int]int
+}
+
+// TotalCellArea returns the summed footprint of all cells.
+func (nl *Netlist) TotalCellArea() float64 {
+	a := 0.0
+	for _, c := range nl.Cells {
+		a += c.Area()
+	}
+	return a
+}
+
+// Validate checks structural sanity: wire endpoints exist and differ, and
+// dimensions are positive.
+func (nl *Netlist) Validate() error {
+	for _, c := range nl.Cells {
+		if c.W <= 0 || c.H <= 0 {
+			return fmt.Errorf("netlist: cell %d has non-positive size %g×%g", c.ID, c.W, c.H)
+		}
+		if c.ID < 0 || c.ID >= len(nl.Cells) || nl.Cells[c.ID].ID != c.ID {
+			return fmt.Errorf("netlist: cell %d mis-indexed", c.ID)
+		}
+	}
+	for _, w := range nl.Wires {
+		if w.From < 0 || w.From >= len(nl.Cells) || w.To < 0 || w.To >= len(nl.Cells) {
+			return fmt.Errorf("netlist: wire %d endpoint out of range", w.ID)
+		}
+		if w.From == w.To {
+			return fmt.Errorf("netlist: wire %d is a self-loop on cell %d", w.ID, w.From)
+		}
+		if w.Weight <= 0 {
+			return fmt.Errorf("netlist: wire %d has non-positive weight %g", w.ID, w.Weight)
+		}
+	}
+	return nil
+}
+
+// Build constructs the netlist of an assignment under the given device
+// model:
+//
+//   - one neuron cell per neuron that appears in any crossbar connection or
+//     synapse;
+//   - one crossbar cell per assignment crossbar, wired from each distinct
+//     source neuron of its connections and to each distinct target neuron;
+//   - one synapse cell per discrete synapse, wired from its source neuron
+//     and to its target neuron.
+//
+// Wire weights follow the RC criticality model: a wire attached to a slower
+// component carries a higher weight so placement keeps it short.
+func Build(a *xbar.Assignment, dev xbar.DeviceModel) (*Netlist, error) {
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	nl := &Netlist{NeuronCell: map[int]int{}}
+	addCell := func(kind CellKind, w, h, delay float64, ref int) int {
+		id := len(nl.Cells)
+		nl.Cells = append(nl.Cells, Cell{ID: id, Kind: kind, W: w, H: h, Delay: delay, Ref: ref})
+		return id
+	}
+	neuronCell := func(n int) int {
+		if id, ok := nl.NeuronCell[n]; ok {
+			return id
+		}
+		id := addCell(KindNeuron, dev.NeuronSide, dev.NeuronSide, 0, n)
+		nl.NeuronCell[n] = id
+		return id
+	}
+	addWire := func(from, to int, weight float64) {
+		nl.Wires = append(nl.Wires, Wire{ID: len(nl.Wires), From: from, To: to, Weight: weight})
+	}
+
+	for xi, cb := range a.Crossbars {
+		if cb.Used() == 0 {
+			continue // an unused crossbar contributes no hardware
+		}
+		side := dev.CrossbarSide(cb.Size)
+		delay := dev.CrossbarDelay(cb.Size)
+		weight := dev.WireWeight(delay)
+		cbCell := addCell(KindCrossbar, side, side, delay, xi)
+		drives := map[int]bool{}
+		fed := map[int]bool{}
+		for _, e := range cb.Conns {
+			drives[e.From] = true
+			fed[e.To] = true
+		}
+		// Deterministic wire order: ascending neuron id.
+		for _, n := range sortedKeys(drives) {
+			addWire(neuronCell(n), cbCell, weight)
+		}
+		for _, n := range sortedKeys(fed) {
+			addWire(cbCell, neuronCell(n), weight)
+		}
+	}
+	synWeight := dev.WireWeight(dev.SynapseDelay)
+	for si, e := range a.Synapses {
+		synCell := addCell(KindSynapse, dev.SynapseSide, dev.SynapseSide, dev.SynapseDelay, si)
+		addWire(neuronCell(e.From), synCell, synWeight)
+		addWire(synCell, neuronCell(e.To), synWeight)
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

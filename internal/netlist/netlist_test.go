@@ -1,0 +1,183 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xbar"
+)
+
+// tinyAssignment: one crossbar over {0,1,2} realizing a triangle, one
+// discrete synapse 3→4.
+func tinyAssignment() *xbar.Assignment {
+	return &xbar.Assignment{
+		N:     5,
+		Total: 7,
+		Crossbars: []xbar.Crossbar{{
+			Size:    16,
+			Inputs:  []int{0, 1, 2},
+			Outputs: []int{0, 1, 2},
+			Conns: []graph.Edge{
+				{From: 0, To: 1}, {From: 1, To: 0},
+				{From: 0, To: 2}, {From: 2, To: 0},
+				{From: 1, To: 2}, {From: 2, To: 1},
+			},
+		}},
+		Synapses: []graph.Edge{{From: 3, To: 4}},
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	dev := xbar.Default45nm()
+	nl, err := Build(tinyAssignment(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cells: 1 crossbar + 5 neurons + 1 synapse = 7.
+	counts := map[CellKind]int{}
+	for _, c := range nl.Cells {
+		counts[c.Kind]++
+	}
+	if counts[KindCrossbar] != 1 || counts[KindNeuron] != 5 || counts[KindSynapse] != 1 {
+		t.Fatalf("cell counts = %v", counts)
+	}
+	// Wires: 3 into + 3 out of crossbar, 2 around the synapse = 8.
+	if len(nl.Wires) != 8 {
+		t.Fatalf("wires = %d, want 8", len(nl.Wires))
+	}
+	// Neuron map covers exactly the participating neurons.
+	if len(nl.NeuronCell) != 5 {
+		t.Fatalf("NeuronCell has %d entries, want 5", len(nl.NeuronCell))
+	}
+}
+
+func TestBuildGeometryAndDelay(t *testing.T) {
+	dev := xbar.Default45nm()
+	nl, err := Build(tinyAssignment(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nl.Cells {
+		switch c.Kind {
+		case KindCrossbar:
+			if c.W != dev.CrossbarSide(16) || c.Delay != dev.CrossbarDelay(16) {
+				t.Errorf("crossbar cell geometry/delay wrong: %+v", c)
+			}
+		case KindNeuron:
+			if c.W != dev.NeuronSide || c.Delay != 0 {
+				t.Errorf("neuron cell wrong: %+v", c)
+			}
+		case KindSynapse:
+			if c.W != dev.SynapseSide || c.Delay != dev.SynapseDelay {
+				t.Errorf("synapse cell wrong: %+v", c)
+			}
+		}
+	}
+}
+
+func TestBuildSkipsEmptyCrossbar(t *testing.T) {
+	a := &xbar.Assignment{
+		N:         2,
+		Total:     1,
+		Crossbars: []xbar.Crossbar{{Size: 16, Inputs: []int{0}, Outputs: []int{0}}},
+		Synapses:  []graph.Edge{{From: 0, To: 1}},
+	}
+	nl, err := Build(a, xbar.Default45nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nl.Cells {
+		if c.Kind == KindCrossbar {
+			t.Fatal("empty crossbar produced a cell")
+		}
+	}
+}
+
+func TestBuildWireWeightsFollowDeviceDelay(t *testing.T) {
+	// Wire weights derive from the attached device's delay: every wire
+	// must carry exactly WireWeight(device delay).
+	dev := xbar.Default45nm()
+	nl, err := Build(tinyAssignment(), dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range nl.Wires {
+		dev1, dev2 := nl.Cells[w.From], nl.Cells[w.To]
+		deviceDelay := dev1.Delay + dev2.Delay // one endpoint is a neuron (0)
+		want := dev.WireWeight(deviceDelay)
+		if w.Weight != want {
+			t.Fatalf("wire %d weight %g, want %g", w.ID, w.Weight, want)
+		}
+	}
+	// A max-size crossbar's wires must outweigh synapse wires.
+	if dev.WireWeight(dev.CrossbarDelay(64)) <= dev.WireWeight(dev.SynapseDelay) {
+		t.Fatal("64-crossbar wire weight not above synapse wire weight")
+	}
+}
+
+func TestBuildRejectsBadDevice(t *testing.T) {
+	dev := xbar.Default45nm()
+	dev.NeuronSide = -1
+	if _, err := Build(tinyAssignment(), dev); err == nil {
+		t.Fatal("bad device model accepted")
+	}
+}
+
+func TestBuildFromFullFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cm := graph.RandomSparse(100, 0.93, rng)
+	a := xbar.FullCro(cm, xbar.DefaultLibrary())
+	nl, err := Build(a, xbar.Default45nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if nl.TotalCellArea() <= 0 {
+		t.Fatal("non-positive total area")
+	}
+	// Every neuron that carries a connection must have a cell.
+	for _, n := range cm.ActiveNeurons() {
+		if _, ok := nl.NeuronCell[n]; !ok {
+			t.Fatalf("active neuron %d has no cell", n)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	nl, err := Build(tinyAssignment(), xbar.Default45nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *nl
+	bad.Wires = append([]Wire(nil), nl.Wires...)
+	bad.Wires[0].To = bad.Wires[0].From
+	if bad.Validate() == nil {
+		t.Error("self-loop wire accepted")
+	}
+	bad.Wires[0] = nl.Wires[0]
+	bad.Wires[1].Weight = 0
+	if bad.Validate() == nil {
+		t.Error("zero-weight wire accepted")
+	}
+	bad.Wires[1] = nl.Wires[1]
+	bad.Wires[2].To = 999
+	if bad.Validate() == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+func TestCellKindString(t *testing.T) {
+	if KindCrossbar.String() != "crossbar" || KindNeuron.String() != "neuron" ||
+		KindSynapse.String() != "synapse" {
+		t.Error("kind names wrong")
+	}
+	if CellKind(9).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}

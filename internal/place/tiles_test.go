@@ -1,0 +1,197 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/xbar"
+)
+
+// clusteredNetlist builds a netlist from an ISC-like assignment over a
+// block network, giving crossbars with distinct neuron groups.
+func clusteredNetlist(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	cm := graph.RandomClustered(90, 30, 0.7, 0.01, rng)
+	a := xbar.FullCro(cm, xbar.DefaultLibrary())
+	nl, err := netlist.Build(a, xbar.Default45nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestConnectivityGroupsPartition(t *testing.T) {
+	nl := clusteredNetlist(t)
+	p := newProblem(nl, DefaultOptions())
+	groups, adj, leftovers := p.connectivityGroups()
+	if groups == nil {
+		t.Fatal("no groups despite crossbars present")
+	}
+	if len(adj) != len(groups) {
+		t.Fatalf("adjacency %d×? for %d groups", len(adj), len(groups))
+	}
+	seen := map[int]bool{}
+	count := 0
+	for _, g := range groups {
+		if seen[g.crossbar] {
+			t.Fatal("crossbar in two groups")
+		}
+		seen[g.crossbar] = true
+		count++
+		for _, m := range g.members {
+			if seen[m] {
+				t.Fatalf("cell %d in two groups", m)
+			}
+			seen[m] = true
+			count++
+		}
+	}
+	count += len(leftovers)
+	if count != len(nl.Cells) {
+		t.Fatalf("groups+leftovers cover %d of %d cells", count, len(nl.Cells))
+	}
+}
+
+func TestConnectivityGroupsNoCrossbars(t *testing.T) {
+	nl := chainNetlist(5)
+	p := newProblem(nl, DefaultOptions())
+	groups, _, _ := p.connectivityGroups()
+	if groups != nil {
+		t.Fatal("groups without crossbars")
+	}
+}
+
+func TestSpectralTileOrderPermutation(t *testing.T) {
+	// A ring adjacency: the spectral order must be a permutation and keep
+	// ring neighbours nearby on average.
+	g := 12
+	adj := make([][]float64, g)
+	for i := range adj {
+		adj[i] = make([]float64, g)
+	}
+	for i := 0; i < g; i++ {
+		j := (i + 1) % g
+		adj[i][j], adj[j][i] = 5, 5
+	}
+	order := spectralTileOrder(adj)
+	if len(order) != g {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		if v < 0 || v >= g || seen[v] {
+			t.Fatalf("order %v not a permutation", order)
+		}
+		seen[v] = true
+	}
+	// Ring neighbours should land close in the order: mean positional
+	// distance well below random (~g/3).
+	pos := make([]int, g)
+	for p, v := range order {
+		pos[v] = p
+	}
+	total := 0
+	for i := 0; i < g; i++ {
+		d := pos[i] - pos[(i+1)%g]
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	if mean := float64(total) / float64(g); mean > float64(g)/3 {
+		t.Fatalf("spectral order scatters ring neighbours: mean distance %.1f", mean)
+	}
+}
+
+func TestSpectralTileOrderSmall(t *testing.T) {
+	order := spectralTileOrder([][]float64{{0, 1}, {1, 0}})
+	if len(order) != 2 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestPackSequenceRespectsShelfWidth(t *testing.T) {
+	nl := chainNetlist(10)
+	p := newProblem(nl, DefaultOptions())
+	cells := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	w, h := p.packSequence(cells, 5)
+	if w > 5+1e-9 {
+		t.Fatalf("used width %g exceeds shelf width 5", w)
+	}
+	if h <= 0 {
+		t.Fatalf("used height %g", h)
+	}
+	// No pairwise overlap among packed cells (virtual sizes).
+	for i := 0; i < len(cells); i++ {
+		for j := i + 1; j < len(cells); j++ {
+			ox := overlap1D(p.pos[cells[i]], p.vw[cells[i]], p.pos[cells[j]], p.vw[cells[j]])
+			oy := overlap1D(p.pos[p.n+cells[i]], p.vh[cells[i]], p.pos[p.n+cells[j]], p.vh[cells[j]])
+			if ox > 1e-9 && oy > 1e-9 {
+				t.Fatalf("cells %d and %d overlap after packing", cells[i], cells[j])
+			}
+		}
+	}
+}
+
+func TestInitialTiledPlacementIsSquareish(t *testing.T) {
+	nl := clusteredNetlist(t)
+	p := newProblem(nl, DefaultOptions())
+	p.initialGrid()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for i := 0; i < p.n; i++ {
+		minX = math.Min(minX, p.pos[i])
+		maxX = math.Max(maxX, p.pos[i])
+		minY = math.Min(minY, p.pos[p.n+i])
+		maxY = math.Max(maxY, p.pos[p.n+i])
+	}
+	w, h := maxX-minX, maxY-minY
+	if ratio := math.Max(w, h) / math.Min(w, h); ratio > 2.2 {
+		t.Fatalf("initial layout aspect ratio %.2f — packer not squaring", ratio)
+	}
+}
+
+func TestSwapRefineImprovesOrKeepsWirelength(t *testing.T) {
+	nl := clusteredNetlist(t)
+	p := newProblem(nl, DefaultOptions())
+	p.initialGrid()
+	p.setupRegion()
+	// Scramble neuron positions to give swaps something to fix.
+	rng := rand.New(rand.NewSource(3))
+	var neurons []int
+	for i, c := range nl.Cells {
+		if c.Kind == netlist.KindNeuron {
+			neurons = append(neurons, i)
+		}
+	}
+	for k := 0; k < 200; k++ {
+		a := neurons[rng.Intn(len(neurons))]
+		b := neurons[rng.Intn(len(neurons))]
+		p.pos[a], p.pos[b] = p.pos[b], p.pos[a]
+		p.pos[p.n+a], p.pos[p.n+b] = p.pos[p.n+b], p.pos[p.n+a]
+	}
+	before := p.weightedHPWL()
+	p.swapRefine()
+	after := p.weightedHPWL()
+	if after > before+1e-9 {
+		t.Fatalf("swapRefine increased HPWL: %g → %g", before, after)
+	}
+	if after > 0.95*before {
+		t.Fatalf("swapRefine barely improved a scrambled placement: %g → %g", before, after)
+	}
+}
+
+func TestSwapRefinePreservesLegality(t *testing.T) {
+	nl := clusteredNetlist(t)
+	r, err := Place(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov := TotalOverlap(nl, r); ov > 1e-6 {
+		t.Fatalf("final placement overlaps by %g after swaps", ov)
+	}
+}

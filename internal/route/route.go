@@ -1,0 +1,340 @@
+// Package route implements the global routing stage of Section 3.5: a grid
+// graph with user-defined bin width θ [18], per-edge virtual capacity [17],
+// maze routing [16] ordered by each wire's distance from the center of
+// gravity of all cells (wire weight as the tie breaker), and capacity
+// relaxation to reroute wires that fail until every wire is routed.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// Options tunes the router.
+type Options struct {
+	// Theta is the grid bin width θ in µm.
+	Theta float64
+	// Capacity is the initial virtual capacity: the number of wires each
+	// grid edge may carry before it is considered full.
+	Capacity int
+	// CongestionPenalty multiplies the cost of stepping onto an edge, per
+	// unit of existing usage, steering the maze router around congestion
+	// even below capacity.
+	CongestionPenalty float64
+	// MaxRelaxations bounds how many times the virtual capacity may be
+	// relaxed (incremented) to route failing wires.
+	MaxRelaxations int
+}
+
+// DefaultOptions returns the parameter set used by the experiments.
+func DefaultOptions() Options {
+	return Options{
+		Theta:             2.0,
+		Capacity:          8,
+		CongestionPenalty: 0.3,
+		MaxRelaxations:    64,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Theta <= 0 {
+		return fmt.Errorf("route: theta %g must be positive", o.Theta)
+	}
+	if o.Capacity <= 0 {
+		return fmt.Errorf("route: capacity %d must be positive", o.Capacity)
+	}
+	if o.CongestionPenalty < 0 {
+		return fmt.Errorf("route: congestion penalty %g must be ≥ 0", o.CongestionPenalty)
+	}
+	if o.MaxRelaxations < 0 {
+		return fmt.Errorf("route: max relaxations %d must be ≥ 0", o.MaxRelaxations)
+	}
+	return nil
+}
+
+// Result holds the routed design.
+type Result struct {
+	// WireLength is the routed length of each wire in µm, indexed by wire
+	// ID.
+	WireLength []float64
+	// Total is the summed routed wirelength in µm.
+	Total float64
+	// Cols, Rows are the grid dimensions.
+	Cols, Rows int
+	// Usage is the per-bin wire presence count (how many routed wires pass
+	// through each bin), row-major — the congestion map of Figure 10.
+	Usage []int
+	// Relaxations is how many capacity relaxations were needed.
+	Relaxations int
+	// FinalCapacity is the virtual capacity after relaxation.
+	FinalCapacity int
+}
+
+// MaxUsage returns the peak bin congestion.
+func (r *Result) MaxUsage() int {
+	max := 0
+	for _, u := range r.Usage {
+		if u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// UsageAt returns the congestion of bin (col, row).
+func (r *Result) UsageAt(col, row int) int { return r.Usage[row*r.Cols+col] }
+
+// grid is the routing graph: bins with horizontal and vertical edge usage.
+type grid struct {
+	cols, rows int
+	theta      float64
+	minX, minY float64
+	// hUsage[r*cols+c] is the usage of the edge from (c,r) to (c+1,r);
+	// vUsage[r*cols+c] of the edge from (c,r) to (c,r+1).
+	hUsage, vUsage []int
+}
+
+func newGrid(pl *place.Result, theta float64) *grid {
+	w := math.Max(pl.Width(), theta)
+	h := math.Max(pl.Height(), theta)
+	cols := int(math.Ceil(w/theta)) + 1
+	rows := int(math.Ceil(h/theta)) + 1
+	return &grid{
+		cols: cols, rows: rows, theta: theta,
+		minX: pl.MinX, minY: pl.MinY,
+		hUsage: make([]int, cols*rows),
+		vUsage: make([]int, cols*rows),
+	}
+}
+
+func (g *grid) binOf(x, y float64) (int, int) {
+	c := int((x - g.minX) / g.theta)
+	r := int((y - g.minY) / g.theta)
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	return c, r
+}
+
+// pqItem is a priority-queue entry for the A* search: cost is the f-value
+// (g + heuristic) used for ordering, g the actual path cost so far.
+type pqItem struct {
+	node int
+	cost float64
+	g    float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra finds the cheapest path from bin s to bin t under the current
+// usage and capacity, using A* with the Manhattan-distance lower bound
+// (admissible because congestion only ever adds to an edge's base cost).
+// It returns the bin sequence or nil if t is unreachable (all paths
+// blocked by full edges).
+func (g *grid) dijkstra(s, t int, capacity int, penalty float64) []int {
+	n := g.cols * g.rows
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	tc, tr := t%g.cols, t/g.cols
+	lowerBound := func(node int) float64 {
+		c, r := node%g.cols, node/g.cols
+		return g.theta * float64(absInt(c-tc)+absInt(r-tr))
+	}
+	dist[s] = 0
+	q := &pq{{node: s, cost: lowerBound(s), g: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.node == t {
+			break
+		}
+		if it.g > dist[it.node] {
+			continue
+		}
+		c, r := it.node%g.cols, it.node/g.cols
+		try := func(nc, nr int, usage []int, edgeIdx int) {
+			u := usage[edgeIdx]
+			if u >= capacity {
+				return
+			}
+			nn := nr*g.cols + nc
+			cost := it.g + g.theta*(1+penalty*float64(u))
+			if cost < dist[nn] {
+				dist[nn] = cost
+				prev[nn] = it.node
+				heap.Push(q, pqItem{node: nn, cost: cost + lowerBound(nn), g: cost})
+			}
+		}
+		if c+1 < g.cols {
+			try(c+1, r, g.hUsage, r*g.cols+c)
+		}
+		if c-1 >= 0 {
+			try(c-1, r, g.hUsage, r*g.cols+c-1)
+		}
+		if r+1 < g.rows {
+			try(c, r+1, g.vUsage, r*g.cols+c)
+		}
+		if r-1 >= 0 {
+			try(c, r-1, g.vUsage, (r-1)*g.cols+c)
+		}
+	}
+	if math.IsInf(dist[t], 1) {
+		return nil
+	}
+	var path []int
+	for v := t; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	// Reverse to s→t order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// commit adds the path's edges to the usage maps.
+func (g *grid) commit(path []int) {
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		if b < a {
+			a, b = b, a
+		}
+		if b == a+1 { // horizontal
+			g.hUsage[a]++
+		} else { // vertical
+			g.vUsage[a]++
+		}
+	}
+}
+
+// Route routes every wire of the netlist over the placed design. The wire
+// order follows the paper: ascending distance from the center of gravity of
+// all cells to the wire's closest pin, with the wire weight breaking ties
+// (heavier first). Wires that cannot be routed under the current virtual
+// capacity trigger a capacity relaxation and are rerouted.
+func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{WireLength: make([]float64, len(nl.Wires))}
+	if len(nl.Wires) == 0 {
+		res.Cols, res.Rows = 1, 1
+		res.Usage = make([]int, 1)
+		res.FinalCapacity = opts.Capacity
+		return res, nil
+	}
+	g := newGrid(pl, opts.Theta)
+	res.Cols, res.Rows = g.cols, g.rows
+
+	// Center of gravity of all cells.
+	cgx, cgy := 0.0, 0.0
+	for i := range nl.Cells {
+		cgx += pl.X[i]
+		cgy += pl.Y[i]
+	}
+	cgx /= float64(len(nl.Cells))
+	cgy /= float64(len(nl.Cells))
+
+	order := make([]int, len(nl.Wires))
+	key := make([]float64, len(nl.Wires))
+	for i, w := range nl.Wires {
+		d1 := math.Abs(pl.X[w.From]-cgx) + math.Abs(pl.Y[w.From]-cgy)
+		d2 := math.Abs(pl.X[w.To]-cgx) + math.Abs(pl.Y[w.To]-cgy)
+		key[i] = math.Min(d1, d2)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		wa, wb := order[a], order[b]
+		if key[wa] != key[wb] {
+			return key[wa] < key[wb]
+		}
+		return nl.Wires[wa].Weight > nl.Wires[wb].Weight
+	})
+
+	capacity := opts.Capacity
+	paths := make([][]int, len(nl.Wires))
+	pending := order
+	for len(pending) > 0 {
+		var failed []int
+		for _, wi := range pending {
+			w := nl.Wires[wi]
+			sc, sr := g.binOf(pl.X[w.From], pl.Y[w.From])
+			tc, tr := g.binOf(pl.X[w.To], pl.Y[w.To])
+			s, t := sr*g.cols+sc, tr*g.cols+tc
+			if s == t {
+				// Same bin: direct connection, no grid edges consumed.
+				paths[wi] = []int{s}
+				res.WireLength[wi] = math.Max(
+					math.Abs(pl.X[w.From]-pl.X[w.To])+math.Abs(pl.Y[w.From]-pl.Y[w.To]),
+					opts.Theta/2)
+				continue
+			}
+			path := g.dijkstra(s, t, capacity, opts.CongestionPenalty)
+			if path == nil {
+				failed = append(failed, wi)
+				continue
+			}
+			g.commit(path)
+			paths[wi] = path
+			res.WireLength[wi] = float64(len(path)-1) * opts.Theta
+		}
+		if len(failed) == 0 {
+			break
+		}
+		if res.Relaxations >= opts.MaxRelaxations {
+			return nil, fmt.Errorf("route: %d wires unroutable after %d capacity relaxations",
+				len(failed), res.Relaxations)
+		}
+		capacity++
+		res.Relaxations++
+		pending = failed
+	}
+	res.FinalCapacity = capacity
+	for _, l := range res.WireLength {
+		res.Total += l
+	}
+	// Congestion map: wires passing through each bin.
+	res.Usage = make([]int, g.cols*g.rows)
+	for _, path := range paths {
+		for _, b := range path {
+			res.Usage[b]++
+		}
+	}
+	return res, nil
+}

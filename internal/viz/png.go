@@ -1,0 +1,200 @@
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+// heat maps a normalized value to a blue→red heat color.
+func heat(v float64) color.RGBA {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	// Piecewise: white → yellow → red for good print contrast.
+	switch {
+	case v == 0:
+		return color.RGBA{255, 255, 255, 255}
+	case v < 0.5:
+		t := v / 0.5
+		return color.RGBA{255, uint8(255 - 90*t), uint8(220 * (1 - t)), 255}
+	default:
+		t := (v - 0.5) / 0.5
+		return color.RGBA{255, uint8(165 * (1 - t)), 0, 255}
+	}
+}
+
+// MatrixPNG renders the connection matrix as a density heat map image of
+// at most maxDim×maxDim pixels (each pixel one tile), optionally permuted.
+func MatrixPNG(cm *graph.Conn, order []int, maxDim int) *image.RGBA {
+	n := cm.N()
+	if maxDim <= 0 {
+		panic(fmt.Sprintf("viz: maxDim %d must be positive", maxDim))
+	}
+	dim := maxDim
+	if n < dim {
+		dim = n
+	}
+	img := image.NewRGBA(image.Rect(0, 0, dim, dim))
+	if n == 0 {
+		return img
+	}
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n {
+		panic(fmt.Sprintf("viz: order length %d, want %d", len(order), n))
+	}
+	pos := make([]int, n)
+	for p, v := range order {
+		pos[v] = p
+	}
+	tile := float64(n) / float64(dim)
+	counts := make([]int, dim*dim)
+	var buf []int
+	for i := 0; i < n; i++ {
+		buf = cm.RowNeighbors(i, buf[:0])
+		ti := int(float64(pos[i]) / tile)
+		if ti >= dim {
+			ti = dim - 1
+		}
+		for _, j := range buf {
+			tj := int(float64(pos[j]) / tile)
+			if tj >= dim {
+				tj = dim - 1
+			}
+			counts[ti*dim+tj]++
+		}
+	}
+	perTile := tile * tile
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			d := math.Sqrt(float64(counts[r*dim+c]) / perTile)
+			img.SetRGBA(c, r, heat(d))
+		}
+	}
+	return img
+}
+
+// LayoutPNG renders the placed cells at the given pixels-per-µm scale:
+// crossbars as filled blue squares (darker for larger), neurons as green
+// dots, synapses as gray dots — the paper's Figure 10 (a)/(c) style.
+func LayoutPNG(nl *netlist.Netlist, pl *place.Result, scale float64) *image.RGBA {
+	if scale <= 0 {
+		panic(fmt.Sprintf("viz: scale %g must be positive", scale))
+	}
+	w := int(math.Ceil(pl.Width()*scale)) + 2
+	h := int(math.Ceil(pl.Height()*scale)) + 2
+	if w < 2 {
+		w = 2
+	}
+	if h < 2 {
+		h = 2
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, color.RGBA{255, 255, 255, 255})
+		}
+	}
+	maxSide := 0.0
+	for _, c := range nl.Cells {
+		if c.Kind == netlist.KindCrossbar && c.W > maxSide {
+			maxSide = c.W
+		}
+	}
+	toPix := func(x, y float64) (int, int) {
+		// Flip y so the image reads like a plot (origin bottom-left).
+		return int((x - pl.MinX) * scale), h - 1 - int((y-pl.MinY)*scale)
+	}
+	fill := func(cx, cy, cw, ch float64, col color.RGBA) {
+		x0, y1 := toPix(cx-cw/2, cy-ch/2)
+		x1, y0 := toPix(cx+cw/2, cy+ch/2)
+		for y := clamp(y0, 0, h-1); y <= clamp(y1, 0, h-1); y++ {
+			for x := clamp(x0, 0, w-1); x <= clamp(x1, 0, w-1); x++ {
+				img.SetRGBA(x, y, col)
+			}
+		}
+	}
+	for _, kind := range []netlist.CellKind{netlist.KindCrossbar, netlist.KindSynapse, netlist.KindNeuron} {
+		for _, c := range nl.Cells {
+			if c.Kind != kind {
+				continue
+			}
+			switch kind {
+			case netlist.KindCrossbar:
+				shade := 0.45
+				if maxSide > 0 {
+					shade = 0.3 + 0.5*c.W/maxSide
+				}
+				fill(pl.X[c.ID], pl.Y[c.ID], c.W, c.H,
+					color.RGBA{uint8(40 * (1 - shade)), uint8(90 * (1 - shade)), uint8(255 * shade), 255})
+			case netlist.KindSynapse:
+				fill(pl.X[c.ID], pl.Y[c.ID], c.W, c.H, color.RGBA{140, 140, 140, 255})
+			case netlist.KindNeuron:
+				fill(pl.X[c.ID], pl.Y[c.ID], c.W, c.H, color.RGBA{30, 160, 60, 255})
+			}
+		}
+	}
+	return img
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CongestionPNG renders the routing usage map as a heat image, one pixel
+// per grid bin, normalized to the peak — Figure 10 (b)/(d).
+func CongestionPNG(rt *route.Result) *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, maxInt(rt.Cols, 1), maxInt(rt.Rows, 1)))
+	peak := rt.MaxUsage()
+	if peak == 0 {
+		peak = 1
+	}
+	for r := 0; r < rt.Rows; r++ {
+		for c := 0; c < rt.Cols; c++ {
+			img.SetRGBA(c, rt.Rows-1-r, heat(float64(rt.UsageAt(c, r))/float64(peak)))
+		}
+	}
+	return img
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WritePNG encodes the image to the given path.
+func WritePNG(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, img); err != nil {
+		return fmt.Errorf("viz: encode %s: %w", path, err)
+	}
+	return nil
+}

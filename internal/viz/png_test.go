@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"image/png"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/route"
+)
+
+func TestMatrixPNG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cm := graph.RandomClustered(80, 20, 0.8, 0.01, rng)
+	img := MatrixPNG(cm, nil, 40)
+	if img.Bounds().Dx() != 40 || img.Bounds().Dy() != 40 {
+		t.Fatalf("image %v, want 40×40", img.Bounds())
+	}
+	// Diagonal blocks must be hotter than off-diagonal background.
+	onDiag := img.RGBAAt(5, 5)
+	offDiag := img.RGBAAt(5, 35)
+	if onDiag.B >= offDiag.B && onDiag.G >= offDiag.G {
+		t.Fatalf("diagonal %v not hotter than background %v", onDiag, offDiag)
+	}
+}
+
+func TestMatrixPNGEmptyAndPanics(t *testing.T) {
+	img := MatrixPNG(graph.NewConn(0), nil, 10)
+	if img.Bounds().Dx() != 0 {
+		t.Fatal("empty network produced pixels")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxDim 0 accepted")
+		}
+	}()
+	MatrixPNG(graph.NewConn(3), nil, 0)
+}
+
+func TestLayoutPNG(t *testing.T) {
+	nl, pl, rt := placedDesign(t)
+	img := LayoutPNG(nl, pl, 2)
+	if img.Bounds().Dx() < 10 || img.Bounds().Dy() < 10 {
+		t.Fatalf("layout image too small: %v", img.Bounds())
+	}
+	// At least one non-white pixel (cells drawn).
+	found := false
+	for y := 0; y < img.Bounds().Dy() && !found; y++ {
+		for x := 0; x < img.Bounds().Dx(); x++ {
+			c := img.RGBAAt(x, y)
+			if c.R != 255 || c.G != 255 || c.B != 255 {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("layout image is blank")
+	}
+	cimg := CongestionPNG(rt)
+	if cimg.Bounds().Dx() != rt.Cols || cimg.Bounds().Dy() != rt.Rows {
+		t.Fatalf("congestion image %v, want %d×%d", cimg.Bounds(), rt.Cols, rt.Rows)
+	}
+}
+
+func TestCongestionPNGEmpty(t *testing.T) {
+	img := CongestionPNG(&route.Result{})
+	if img.Bounds().Dx() != 1 || img.Bounds().Dy() != 1 {
+		t.Fatalf("empty congestion image %v", img.Bounds())
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.png")
+	rng := rand.New(rand.NewSource(2))
+	cm := graph.RandomSparse(30, 0.9, rng)
+	if err := WritePNG(path, MatrixPNG(cm, nil, 30)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	decoded, err := png.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Bounds().Dx() != 30 {
+		t.Fatalf("decoded %v", decoded.Bounds())
+	}
+}
+
+func TestWritePNGBadPath(t *testing.T) {
+	if err := WritePNG("/nonexistent-dir/x.png", MatrixPNG(graph.NewConn(2), nil, 2)); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestHeatRamp(t *testing.T) {
+	if heat(0).R != 255 || heat(0).G != 255 || heat(0).B != 255 {
+		t.Error("zero heat not white")
+	}
+	full := heat(1)
+	if full.R != 255 || full.G != 0 || full.B != 0 {
+		t.Errorf("full heat %v, want red", full)
+	}
+	if heat(-1) != heat(0) || heat(2) != heat(1) {
+		t.Error("heat does not clamp")
+	}
+}

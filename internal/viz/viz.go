@@ -1,0 +1,228 @@
+// Package viz renders the flow's artifacts as ASCII art: connection
+// matrices (optionally permuted by clusters, as in Figures 3-6), placed
+// layouts (Figure 10 a/c), and routing congestion maps (Figure 10 b/d).
+// The renderings are deliberately terminal-friendly; they stand in for the
+// paper's bitmap figures.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+)
+
+// densityRamp maps a 0..1 density to a character.
+const densityRamp = " .:-=+*#%@"
+
+func rampChar(v float64) byte {
+	if v <= 0 {
+		return densityRamp[0]
+	}
+	if v >= 1 {
+		return densityRamp[len(densityRamp)-1]
+	}
+	return densityRamp[int(v*float64(len(densityRamp)-1))]
+}
+
+// Matrix renders the connection matrix downsampled to at most maxDim rows
+// and columns. If order is non-nil it permutes the neurons first (pass a
+// cluster permutation to make clusters appear as diagonal blocks). Each
+// output character encodes the connection density of its tile.
+func Matrix(cm *graph.Conn, order []int, maxDim int) string {
+	n := cm.N()
+	if n == 0 {
+		return ""
+	}
+	if maxDim <= 0 {
+		panic(fmt.Sprintf("viz: maxDim %d must be positive", maxDim))
+	}
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != n {
+		panic(fmt.Sprintf("viz: order length %d, want %d", len(order), n))
+	}
+	dim := maxDim
+	if n < dim {
+		dim = n
+	}
+	tile := float64(n) / float64(dim)
+	counts := make([]int, dim*dim)
+	var buf []int
+	pos := make([]int, n) // neuron → permuted position
+	for p, v := range order {
+		pos[v] = p
+	}
+	for i := 0; i < n; i++ {
+		buf = cm.RowNeighbors(i, buf[:0])
+		ti := int(float64(pos[i]) / tile)
+		if ti >= dim {
+			ti = dim - 1
+		}
+		for _, j := range buf {
+			tj := int(float64(pos[j]) / tile)
+			if tj >= dim {
+				tj = dim - 1
+			}
+			counts[ti*dim+tj]++
+		}
+	}
+	perTile := tile * tile
+	var b strings.Builder
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			// Scale: a tile at full density saturates; sqrt emphasizes
+			// sparse structure.
+			d := math.Sqrt(float64(counts[r*dim+c]) / perTile)
+			b.WriteByte(rampChar(d))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Layout renders the placed cells into a width×height character canvas.
+// Crossbars fill their extent with 'X' ('#' for the largest ones), neurons
+// are 'o', synapses '·' (rendered as '.').
+func Layout(nl *netlist.Netlist, pl *place.Result, width, height int) string {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("viz: canvas %d×%d must be positive", width, height))
+	}
+	canvas := make([][]byte, height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", width))
+	}
+	w := math.Max(pl.Width(), 1e-9)
+	h := math.Max(pl.Height(), 1e-9)
+	maxCross := 0.0
+	for _, c := range nl.Cells {
+		if c.Kind == netlist.KindCrossbar && c.W > maxCross {
+			maxCross = c.W
+		}
+	}
+	toCanvas := func(x, y float64) (int, int) {
+		cx := int((x - pl.MinX) / w * float64(width-1))
+		cy := int((y - pl.MinY) / h * float64(height-1))
+		if cx < 0 {
+			cx = 0
+		}
+		if cx >= width {
+			cx = width - 1
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		if cy >= height {
+			cy = height - 1
+		}
+		return cx, cy
+	}
+	// Draw crossbars first (area), then synapses, then neurons on top.
+	for _, kind := range []netlist.CellKind{netlist.KindCrossbar, netlist.KindSynapse, netlist.KindNeuron} {
+		for _, c := range nl.Cells {
+			if c.Kind != kind {
+				continue
+			}
+			switch kind {
+			case netlist.KindCrossbar:
+				ch := byte('X')
+				if maxCross > 0 && c.W >= 0.9*maxCross {
+					ch = '#'
+				}
+				x0, y0 := toCanvas(pl.X[c.ID]-c.W/2, pl.Y[c.ID]-c.H/2)
+				x1, y1 := toCanvas(pl.X[c.ID]+c.W/2, pl.Y[c.ID]+c.H/2)
+				for r := y0; r <= y1; r++ {
+					for cc := x0; cc <= x1; cc++ {
+						canvas[r][cc] = ch
+					}
+				}
+			case netlist.KindSynapse:
+				cx, cy := toCanvas(pl.X[c.ID], pl.Y[c.ID])
+				canvas[cy][cx] = '.'
+			case netlist.KindNeuron:
+				cx, cy := toCanvas(pl.X[c.ID], pl.Y[c.ID])
+				canvas[cy][cx] = 'o'
+			}
+		}
+	}
+	var b strings.Builder
+	for r := height - 1; r >= 0; r-- { // y up
+		b.Write(canvas[r])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Congestion renders the routing usage map scaled to at most maxDim
+// characters per side, normalizing to the peak bin usage.
+func Congestion(rt *route.Result, maxDim int) string {
+	if maxDim <= 0 {
+		panic(fmt.Sprintf("viz: maxDim %d must be positive", maxDim))
+	}
+	if rt.Cols == 0 || rt.Rows == 0 {
+		return ""
+	}
+	peak := rt.MaxUsage()
+	if peak == 0 {
+		peak = 1
+	}
+	outC, outR := rt.Cols, rt.Rows
+	if outC > maxDim {
+		outC = maxDim
+	}
+	if outR > maxDim {
+		outR = maxDim
+	}
+	var b strings.Builder
+	for r := outR - 1; r >= 0; r-- {
+		for c := 0; c < outC; c++ {
+			// Max-pool the source tile.
+			r0 := r * rt.Rows / outR
+			r1 := (r+1)*rt.Rows/outR - 1
+			c0 := c * rt.Cols / outC
+			c1 := (c+1)*rt.Cols/outC - 1
+			m := 0
+			for rr := r0; rr <= r1; rr++ {
+				for cc := c0; cc <= c1; cc++ {
+					if u := rt.UsageAt(cc, rr); u > m {
+						m = u
+					}
+				}
+			}
+			b.WriteByte(rampChar(float64(m) / float64(peak)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Histogram renders a labeled bar chart of integer counts (used for the
+// crossbar size distributions of Figures 7-9(c)).
+func Histogram(labels []int, counts []int, maxBar int) string {
+	if len(labels) != len(counts) {
+		panic("viz: histogram labels and counts mismatch")
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		bar := counts[i] * maxBar / peak
+		fmt.Fprintf(&b, "%4d | %-*s %d\n", l, maxBar, strings.Repeat("█", bar), counts[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/route"
+	"repro/internal/xbar"
+)
+
+func TestMatrixRendering(t *testing.T) {
+	cm := graph.NewConn(4)
+	cm.Set(0, 0)
+	cm.Set(3, 3)
+	s := Matrix(cm, nil, 4)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 || len(lines[0]) != 4 {
+		t.Fatalf("matrix render %dx%d, want 4x4:\n%s", len(lines), len(lines[0]), s)
+	}
+	if lines[0][0] == ' ' || lines[3][3] == ' ' {
+		t.Fatalf("set cells rendered empty:\n%s", s)
+	}
+	if lines[0][1] != ' ' {
+		t.Fatalf("empty cell rendered non-empty:\n%s", s)
+	}
+}
+
+func TestMatrixDownsamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cm := graph.RandomSparse(100, 0.9, rng)
+	s := Matrix(cm, nil, 20)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 20 {
+		t.Fatalf("downsampled to %d rows, want 20", len(lines))
+	}
+}
+
+func TestMatrixPermutationConcentratesDiagonal(t *testing.T) {
+	// A block network rendered with a scrambling permutation and back with
+	// the inverse: identity order must show stronger diagonal density.
+	rng := rand.New(rand.NewSource(2))
+	// Block size 10 aligns exactly with the 6 render tiles of 10 neurons,
+	// so in identity order all content is on the tile diagonal.
+	cm := graph.RandomClustered(60, 10, 0.8, 0.0, rng)
+	id := Matrix(cm, nil, 6)
+	perm := rng.Perm(60)
+	scr := Matrix(cm, perm, 6)
+	diagDensity := func(s string) int {
+		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+		d := 0
+		for i := range lines {
+			if lines[i][i] != ' ' {
+				d++
+			}
+		}
+		return d
+	}
+	offDensity := func(s string) int {
+		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+		d := 0
+		for i := range lines {
+			for j := range lines[i] {
+				if i != j && lines[i][j] != ' ' {
+					d++
+				}
+			}
+		}
+		return d
+	}
+	if offDensity(id) != 0 {
+		t.Fatalf("pure block matrix has off-diagonal content in identity order:\n%s", id)
+	}
+	if offDensity(scr) == 0 {
+		t.Fatalf("scrambled order shows no off-diagonal content:\n%s", scr)
+	}
+	if diagDensity(id) == 0 {
+		t.Fatal("no diagonal content")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	cm := graph.NewConn(3)
+	for name, f := range map[string]func(){
+		"maxDim":    func() { Matrix(cm, nil, 0) },
+		"bad order": func() { Matrix(cm, []int{0}, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMatrixEmpty(t *testing.T) {
+	if s := Matrix(graph.NewConn(0), nil, 5); s != "" {
+		t.Fatalf("empty network rendered %q", s)
+	}
+}
+
+func placedDesign(t *testing.T) (*netlist.Netlist, *place.Result, *route.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	cm := graph.RandomSparse(40, 0.9, rng)
+	a := xbar.FullCro(cm, xbar.DefaultLibrary())
+	nl, err := netlist.Build(a, xbar.Default45nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(nl, place.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := route.Route(nl, pl, route.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, pl, rt
+}
+
+func TestLayoutRendering(t *testing.T) {
+	nl, pl, _ := placedDesign(t)
+	s := Layout(nl, pl, 60, 30)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 30 {
+		t.Fatalf("%d rows, want 30", len(lines))
+	}
+	if !strings.ContainsAny(s, "#X") {
+		t.Fatal("no crossbars rendered")
+	}
+	if !strings.Contains(s, "o") {
+		t.Fatal("no neurons rendered")
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	nl, pl, _ := placedDesign(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero canvas did not panic")
+		}
+	}()
+	Layout(nl, pl, 0, 10)
+}
+
+func TestCongestionRendering(t *testing.T) {
+	_, _, rt := placedDesign(t)
+	s := Congestion(rt, 40)
+	if s == "" {
+		t.Fatal("empty congestion render")
+	}
+	if !strings.ContainsAny(s, densityRamp[1:]) {
+		t.Fatal("congestion map shows no usage")
+	}
+}
+
+func TestCongestionEmpty(t *testing.T) {
+	if s := Congestion(&route.Result{}, 10); s != "" {
+		t.Fatalf("empty routing rendered %q", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	s := Histogram([]int{16, 32, 64}, []int{1, 4, 2}, 20)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d rows, want 3", len(lines))
+	}
+	if !strings.Contains(lines[1], "█████") {
+		t.Fatalf("peak bar missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "16") || !strings.Contains(lines[0], "1") {
+		t.Fatalf("labels missing: %q", lines[0])
+	}
+}
+
+func TestHistogramMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched histogram did not panic")
+		}
+	}()
+	Histogram([]int{1}, []int{1, 2}, 10)
+}
+
+func TestRampChar(t *testing.T) {
+	if rampChar(-1) != ' ' || rampChar(0) != ' ' {
+		t.Error("zero density not blank")
+	}
+	if rampChar(1) != '@' || rampChar(2) != '@' {
+		t.Error("full density not saturated")
+	}
+}

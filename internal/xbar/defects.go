@@ -1,0 +1,152 @@
+package xbar
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Defect is one faulty memristor cell in a crossbar: stuck-off cells can
+// never conduct (the mapped connection is lost), stuck-on cells always
+// conduct (a spurious connection corrupts any simultaneous use of the row
+// and column).
+type Defect struct {
+	Row, Col int
+	StuckOn  bool
+}
+
+// GenerateDefects draws a random defect map for an s×s crossbar: each cell
+// is independently defective with probability rate, and a defective cell is
+// stuck-on with probability onFraction (stuck-off otherwise).
+func GenerateDefects(s int, rate, onFraction float64, rng *rand.Rand) []Defect {
+	if s <= 0 {
+		panic(fmt.Sprintf("xbar: defects for size %d", s))
+	}
+	if rate < 0 || rate > 1 || onFraction < 0 || onFraction > 1 {
+		panic(fmt.Sprintf("xbar: defect rate %g / on fraction %g out of [0,1]", rate, onFraction))
+	}
+	var out []Defect
+	for r := 0; r < s; r++ {
+		for c := 0; c < s; c++ {
+			if rng.Float64() < rate {
+				out = append(out, Defect{Row: r, Col: c, StuckOn: rng.Float64() < onFraction})
+			}
+		}
+	}
+	return out
+}
+
+// RepairStats summarizes a defect-aware repair.
+type RepairStats struct {
+	Crossbars      int // crossbars processed
+	Defects        int // defects seen under occupied rows/cols
+	RowsRetired    int // neuron rows evicted because of stuck-on cells
+	DemotedStuck   int // connections demoted due to stuck-off cells
+	DemotedEvict   int // connections demoted with their evicted row
+	TotalDemotions int
+}
+
+// Repair produces a defect-aware version of the assignment: every crossbar
+// gets an independent defect map drawn at the given rate, and the mapping
+// is repaired so the implementation remains functionally exact:
+//
+//   - a connection whose cell is stuck-off is demoted to a discrete
+//     synapse;
+//   - a stuck-on cell at an occupied (row, column) pair whose connection
+//     is not part of the mapping forces the row's neuron off the crossbar
+//     if no spare row exists — its remaining connections in this crossbar
+//     are demoted (spare rows are used first, which costs nothing).
+//
+// The returned assignment covers exactly the same network; Validate against
+// the original connection matrix still passes.
+func Repair(a *Assignment, rate, onFraction float64, rng *rand.Rand) (*Assignment, *RepairStats) {
+	out := &Assignment{
+		N:        a.N,
+		Total:    a.Total,
+		Synapses: append([]graph.Edge(nil), a.Synapses...),
+	}
+	stats := &RepairStats{}
+	for _, cb := range a.Crossbars {
+		stats.Crossbars++
+		defects := GenerateDefects(cb.Size, rate, onFraction, rng)
+		repaired, demotedOff, demotedEvict := repairOne(cb, defects, stats)
+		if repaired.Used() > 0 {
+			out.Crossbars = append(out.Crossbars, repaired)
+		}
+		out.Synapses = append(out.Synapses, demotedOff...)
+		out.Synapses = append(out.Synapses, demotedEvict...)
+		stats.DemotedStuck += len(demotedOff)
+		stats.DemotedEvict += len(demotedEvict)
+	}
+	stats.TotalDemotions = stats.DemotedStuck + stats.DemotedEvict
+	return out, stats
+}
+
+// repairOne applies a defect map to one crossbar. Rows are assigned to
+// Inputs in order and columns to Outputs in order; spare physical rows
+// (crossbar size beyond the input count) absorb stuck-on evictions first.
+func repairOne(cb Crossbar, defects []Defect, stats *RepairStats) (Crossbar, []graph.Edge, []graph.Edge) {
+	rowOf := map[int]int{} // neuron → physical row
+	colOf := map[int]int{}
+	for r, n := range cb.Inputs {
+		rowOf[n] = r
+	}
+	for c, n := range cb.Outputs {
+		colOf[n] = c
+	}
+	neuronAtRow := map[int]int{}
+	for n, r := range rowOf {
+		neuronAtRow[r] = n
+	}
+	conn := map[[2]int]bool{} // (row, col) occupied by a mapped connection
+	for _, e := range cb.Conns {
+		conn[[2]int{rowOf[e.From], colOf[e.To]}] = true
+	}
+	stuckOff := map[[2]int]bool{}
+	evictRow := map[int]bool{}
+	spare := cb.Size - len(cb.Inputs) // free physical rows
+	for _, d := range defects {
+		key := [2]int{d.Row, d.Col}
+		if d.StuckOn {
+			// Harmful only if the row and column are both occupied and the
+			// crossing is not an intended connection.
+			_, rowUsed := neuronAtRow[d.Row]
+			colUsed := d.Col < len(cb.Outputs)
+			if rowUsed && colUsed && !conn[key] {
+				stats.Defects++
+				if spare > 0 {
+					// Move the neuron to a spare row: free in this model
+					// (the crossbar has unused physical rows).
+					spare--
+				} else if !evictRow[d.Row] {
+					evictRow[d.Row] = true
+					stats.RowsRetired++
+				}
+			}
+		} else if conn[key] {
+			stats.Defects++
+			stuckOff[key] = true
+		}
+	}
+	var kept []graph.Edge
+	var demotedOff, demotedEvict []graph.Edge
+	for _, e := range cb.Conns {
+		key := [2]int{rowOf[e.From], colOf[e.To]}
+		switch {
+		case stuckOff[key]:
+			demotedOff = append(demotedOff, e)
+		case evictRow[rowOf[e.From]]:
+			demotedEvict = append(demotedEvict, e)
+		default:
+			kept = append(kept, e)
+		}
+	}
+	repaired := Crossbar{
+		Size:    cb.Size,
+		Inputs:  append([]int(nil), cb.Inputs...),
+		Outputs: append([]int(nil), cb.Outputs...),
+		Conns:   kept,
+	}
+	return repaired, demotedOff, demotedEvict
+}

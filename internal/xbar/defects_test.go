@@ -1,0 +1,131 @@
+package xbar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestGenerateDefects(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := GenerateDefects(32, 0.05, 0.5, rng)
+	// Expect ~51 defects out of 1024 cells.
+	if len(d) < 20 || len(d) > 100 {
+		t.Fatalf("%d defects at 5%% of 1024 cells", len(d))
+	}
+	on := 0
+	for _, x := range d {
+		if x.Row < 0 || x.Row >= 32 || x.Col < 0 || x.Col >= 32 {
+			t.Fatalf("defect out of range: %+v", x)
+		}
+		if x.StuckOn {
+			on++
+		}
+	}
+	if on == 0 || on == len(d) {
+		t.Fatalf("stuck-on fraction degenerate: %d of %d", on, len(d))
+	}
+	if len(GenerateDefects(8, 0, 0.5, rng)) != 0 {
+		t.Fatal("rate 0 produced defects")
+	}
+}
+
+func TestGenerateDefectsPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"size": func() { GenerateDefects(0, 0.1, 0.5, rand.New(rand.NewSource(1))) },
+		"rate": func() { GenerateDefects(8, 1.5, 0.5, rand.New(rand.NewSource(1))) },
+		"onf":  func() { GenerateDefects(8, 0.1, -1, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRepairZeroRateIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cm := graph.RandomSparse(100, 0.93, rng)
+	a := FullCro(cm, DefaultLibrary())
+	repaired, stats := Repair(a, 0, 0.5, rng)
+	if stats.TotalDemotions != 0 {
+		t.Fatalf("zero defect rate demoted %d connections", stats.TotalDemotions)
+	}
+	if err := repaired.Validate(cm); err != nil {
+		t.Fatal(err)
+	}
+	if repaired.MappedConnections() != a.MappedConnections() {
+		t.Fatal("mapping changed without defects")
+	}
+}
+
+func TestRepairPreservesFunctionality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cm := graph.RandomSparse(150, 0.94, rng)
+	a := FullCro(cm, DefaultLibrary())
+	repaired, stats := Repair(a, 0.02, 0.3, rng)
+	// The repaired implementation must still realize the network exactly.
+	if err := repaired.Validate(cm); err != nil {
+		t.Fatalf("repaired assignment invalid: %v", err)
+	}
+	if stats.TotalDemotions == 0 {
+		t.Fatal("2% defects on dense blocks demoted nothing — suspicious")
+	}
+	if len(repaired.Synapses) != len(a.Synapses)+stats.TotalDemotions {
+		t.Fatalf("synapse bookkeeping wrong: %d vs %d + %d",
+			len(repaired.Synapses), len(a.Synapses), stats.TotalDemotions)
+	}
+}
+
+func TestRepairSpareRowsAbsorbStuckOn(t *testing.T) {
+	// A crossbar whose input count is far below its size has spare
+	// physical rows; stuck-on evictions should consume those before
+	// demoting anything.
+	cm := graph.NewConn(8)
+	for i := 0; i < 4; i++ {
+		cm.Set(i, (i+1)%4)
+	}
+	lib, err := NewLibrary(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := FullCro(cm, lib)
+	if len(a.Crossbars) != 1 || len(a.Crossbars[0].Inputs) != 8 {
+		t.Fatalf("unexpected baseline shape: %+v", a.Crossbars)
+	}
+	rng := rand.New(rand.NewSource(4))
+	repaired, stats := Repair(a, 0.01, 1.0, rng) // all defects stuck-on
+	if err := repaired.Validate(cm); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DemotedEvict > 0 && stats.RowsRetired == 0 {
+		t.Fatal("evictions without retired rows")
+	}
+	// 56 spare rows against ~41 expected defects: demotions should be rare.
+	if stats.DemotedEvict > 2 {
+		t.Fatalf("%d evict-demotions despite 56 spare rows", stats.DemotedEvict)
+	}
+}
+
+// Property: repair never loses or duplicates a connection, for any defect
+// rate.
+func TestRepairExactCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(80)
+		cm := graph.RandomSparse(n, 0.85+0.13*rng.Float64(), rng)
+		a := FullCro(cm, DefaultLibrary())
+		rate := rng.Float64() * 0.1
+		repaired, _ := Repair(a, rate, rng.Float64(), rng)
+		return repaired.Validate(cm) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

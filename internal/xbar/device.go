@@ -1,0 +1,134 @@
+package xbar
+
+import (
+	"fmt"
+	"math"
+)
+
+// DeviceModel holds the geometric and electrical parameters of the
+// memristor substrate. The paper extracts crossbar, discrete synapse, and
+// neuron area/delay from its references [15] and [2] and scales them to the
+// 45 nm node without printing the numbers; the defaults below are our
+// calibration (documented in DESIGN.md) chosen so the FullCro baseline of
+// testbench 3 lands near the magnitudes of Table 1. All lengths are in µm,
+// areas in µm², delays in ns.
+type DeviceModel struct {
+	// MemristorPitch is the cell pitch inside a crossbar (2F at F = 45 nm).
+	MemristorPitch float64
+	// CrossbarPeriphery is the width of the driver/training circuit strip
+	// along each crossbar side; peripheral area therefore grows linearly
+	// with the crossbar size.
+	CrossbarPeriphery float64
+	// NeuronSide is the edge length of an integrate-and-fire neuron cell.
+	NeuronSide float64
+	// SynapseSide is the edge length of a discrete memristor synapse cell
+	// (memristor plus access device).
+	SynapseSide float64
+	// CrossbarDelayAtRef is the read/compute delay of a crossbar of size
+	// RefSize; delay scales quadratically with size (RC of the crossbar
+	// lines grows as s²).
+	CrossbarDelayAtRef float64
+	// RefSize is the crossbar size at which CrossbarDelayAtRef is quoted.
+	RefSize int
+	// SynapseDelay is the traversal delay of one discrete synapse.
+	SynapseDelay float64
+	// WireRPerUm and WireCPerUm are the distributed resistance (Ω/µm) and
+	// capacitance (fF/µm) of an intermediate metal wire at 45 nm, used for
+	// Elmore wire delay and for the RC-derived wire weights in placement.
+	WireRPerUm float64
+	WireCPerUm float64
+}
+
+// Default45nm returns the calibrated 45 nm device model used by the
+// experiments.
+func Default45nm() DeviceModel {
+	return DeviceModel{
+		MemristorPitch:     0.09, // 2F at F = 45 nm
+		CrossbarPeriphery:  2.0,
+		NeuronSide:         2.2,
+		SynapseSide:        1.0,
+		CrossbarDelayAtRef: 1.95, // Table 1: FullCro delay with s = 64
+		RefSize:            64,
+		SynapseDelay:       0.30,
+		WireRPerUm:         1.5,  // Ω/µm
+		WireCPerUm:         0.20, // fF/µm
+	}
+}
+
+// Validate reports whether all model parameters are physically sensible.
+func (d DeviceModel) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"MemristorPitch", d.MemristorPitch},
+		{"CrossbarPeriphery", d.CrossbarPeriphery},
+		{"NeuronSide", d.NeuronSide},
+		{"SynapseSide", d.SynapseSide},
+		{"CrossbarDelayAtRef", d.CrossbarDelayAtRef},
+		{"RefSize", float64(d.RefSize)},
+		{"SynapseDelay", d.SynapseDelay},
+		{"WireRPerUm", d.WireRPerUm},
+		{"WireCPerUm", d.WireCPerUm},
+	}
+	for _, c := range checks {
+		if c.v <= 0 || math.IsNaN(c.v) || math.IsInf(c.v, 0) {
+			return fmt.Errorf("xbar: device parameter %s = %g must be positive and finite", c.name, c.v)
+		}
+	}
+	return nil
+}
+
+// CrossbarSide returns the edge length of a size-s crossbar cell including
+// its peripheral strips.
+func (d DeviceModel) CrossbarSide(s int) float64 {
+	if s <= 0 {
+		panic(fmt.Sprintf("xbar: crossbar side of size %d", s))
+	}
+	return float64(s)*d.MemristorPitch + 2*d.CrossbarPeriphery
+}
+
+// CrossbarArea returns the footprint of a size-s crossbar including
+// periphery.
+func (d DeviceModel) CrossbarArea(s int) float64 {
+	side := d.CrossbarSide(s)
+	return side * side
+}
+
+// CrossbarDelay returns the compute delay of a size-s crossbar. The RC of
+// the word/bit lines grows quadratically with the line length, so the delay
+// scales as (s/RefSize)².
+func (d DeviceModel) CrossbarDelay(s int) float64 {
+	if s <= 0 {
+		panic(fmt.Sprintf("xbar: crossbar delay of size %d", s))
+	}
+	r := float64(s) / float64(d.RefSize)
+	return d.CrossbarDelayAtRef * r * r
+}
+
+// NeuronArea returns the footprint of one neuron cell.
+func (d DeviceModel) NeuronArea() float64 { return d.NeuronSide * d.NeuronSide }
+
+// SynapseArea returns the footprint of one discrete synapse cell.
+func (d DeviceModel) SynapseArea() float64 { return d.SynapseSide * d.SynapseSide }
+
+// WireDelay returns the Elmore delay of a wire of the given routed length
+// in ns: ½·r·c·L² with r in Ω/µm and c in fF/µm (Ω·fF = 10⁻⁶ ns).
+func (d DeviceModel) WireDelay(length float64) float64 {
+	if length < 0 {
+		panic(fmt.Sprintf("xbar: negative wire length %g", length))
+	}
+	return 0.5 * d.WireRPerUm * d.WireCPerUm * length * length * 1e-6
+}
+
+// WireWeight returns the placement weight of a wire attached to a component
+// with the given intrinsic delay (crossbar or synapse): wires feeding slower
+// components are more timing-critical, so they are weighted higher to be
+// kept short. The weight is 1 + the component delay normalized by the
+// reference crossbar delay.
+func (d DeviceModel) WireWeight(componentDelay float64) float64 {
+	if componentDelay < 0 {
+		panic(fmt.Sprintf("xbar: negative component delay %g", componentDelay))
+	}
+	return 1 + componentDelay/d.CrossbarDelayAtRef
+}

@@ -1,0 +1,69 @@
+package xbar
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestAssignmentJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cm := graph.RandomSparse(80, 0.92, rng)
+	a := FullCro(cm, DefaultLibrary())
+	var b strings.Builder
+	if err := a.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(cm); err != nil {
+		t.Fatalf("round-tripped assignment invalid: %v", err)
+	}
+	if back.N != a.N || back.Total != a.Total ||
+		len(back.Crossbars) != len(a.Crossbars) || len(back.Synapses) != len(a.Synapses) {
+		t.Fatal("round trip changed shape")
+	}
+	if back.MappedConnections() != a.MappedConnections() {
+		t.Fatal("round trip changed connection count")
+	}
+}
+
+func TestAssignmentJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":       "{nope",
+		"wrong version": `{"version": 9, "neurons": 2, "connections": 0, "crossbars": null, "synapses": null}`,
+		"unknown field": `{"version": 1, "neurons": 2, "connections": 0, "crossbars": null, "synapses": null, "extra": 1}`,
+		"negative":      `{"version": 1, "neurons": -2, "connections": 0, "crossbars": null, "synapses": null}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestAssignmentJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.json")
+	rng := rand.New(rand.NewSource(2))
+	cm := graph.RandomSparse(50, 0.9, rng)
+	a := FullCro(cm, DefaultLibrary())
+	if err := a.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(cm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
