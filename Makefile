@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: all build vet test test-race fuzz bench bench-large golden-update clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The determinism contract is only meaningful if the pools are race-clean;
+# this is the gate the golden tests rely on.
+test-race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the network-format parser (satellite of the
+# regression harness; CI runs the seed corpus via plain `go test`).
+fuzz:
+	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/graph/
+
+# -short skips the 2000-neuron benchmarks (minutes per op); see bench-large.
+bench:
+	$(GO) test -short -bench=. -benchtime=1x -run='^$$' ./...
+
+bench-large:
+	$(GO) test -bench='2000' -benchtime=1x -run='^$$' -timeout=4h ./
+
+# Regenerate the golden compile summaries after an intentional
+# behaviour change. Review the diff before committing.
+golden-update:
+	$(GO) test -run TestCompileGolden -update ./
+
+clean:
+	$(GO) clean ./...

@@ -123,6 +123,18 @@ type Config struct {
 	Cost CostParams
 	// Seed drives all randomized steps (k-means seeding).
 	Seed int64
+	// Workers bounds the worker pool running the flow's data-parallel
+	// kernels (spectral solves, k-means, CP scoring, maze-route batches).
+	// Zero means runtime.NumCPU() (or the process default installed with
+	// a --workers flag); negative values are rejected by Compile.
+	//
+	// Determinism contract: the compiled result is bit-identical for
+	// every worker count — Workers=1 reproduces the serial flow exactly.
+	// All parallel kernels either touch disjoint per-index state or
+	// reduce partial results in an order fixed by the input alone, and
+	// every random stream is consumed on a single goroutine in a fixed
+	// order derived from Seed.
+	Workers int
 	// SkipPhysical stops after clustering: Netlist, Placement, Routing and
 	// Report stay nil. Useful when only the mapping is of interest.
 	SkipPhysical bool
@@ -157,8 +169,8 @@ type Result struct {
 // Compile runs the complete AutoNCS flow on the network: ISC clustering
 // into the crossbar library, then placement, routing, and cost evaluation.
 func Compile(net *Network, cfg Config) (*Result, error) {
-	if net == nil {
-		return nil, fmt.Errorf("autoncs: nil network")
+	if err := validateInput(net, cfg); err != nil {
+		return nil, err
 	}
 	threshold := cfg.UtilizationThreshold
 	if threshold == 0 {
@@ -169,6 +181,7 @@ func Compile(net *Network, cfg Config) (*Result, error) {
 		UtilizationThreshold: threshold,
 		SelectionQuantile:    cfg.SelectionQuantile,
 		Rand:                 rand.New(rand.NewSource(cfg.Seed)),
+		Workers:              cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("autoncs: clustering: %w", err)
@@ -187,8 +200,8 @@ func Compile(net *Network, cfg Config) (*Result, error) {
 // maximum-size crossbars only (one per non-empty block), then the same
 // physical design flow.
 func CompileFullCro(net *Network, cfg Config) (*Result, error) {
-	if net == nil {
-		return nil, fmt.Errorf("autoncs: nil network")
+	if err := validateInput(net, cfg); err != nil {
+		return nil, err
 	}
 	res := &Result{Assignment: xbar.FullCro(net, cfg.Library)}
 	if cfg.SkipPhysical {
@@ -198,6 +211,37 @@ func CompileFullCro(net *Network, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// validateInput rejects the degenerate configurations and inputs that used
+// to surface as panics deep inside the clustering or placement stages.
+func validateInput(net *Network, cfg Config) error {
+	if net == nil {
+		return fmt.Errorf("autoncs: nil network")
+	}
+	if net.N() == 0 {
+		return fmt.Errorf("autoncs: empty network (0 neurons)")
+	}
+	if net.NNZ() == 0 {
+		return fmt.Errorf("autoncs: network with %d neurons has no connections", net.N())
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("autoncs: Config.Workers = %d is negative; use 0 for runtime.NumCPU()", cfg.Workers)
+	}
+	if cfg.Library.Empty() {
+		return fmt.Errorf("autoncs: empty crossbar library (use DefaultLibrary)")
+	}
+	return nil
+}
+
+// routeOptions is cfg.Route with an unset Workers knob inheriting the
+// flow-level Config.Workers.
+func routeOptions(cfg Config) RouteOptions {
+	ro := cfg.Route
+	if ro.Workers == 0 {
+		ro.Workers = cfg.Workers
+	}
+	return ro
 }
 
 // physicalDesign runs netlist → place → route → cost on res.Assignment.
@@ -210,7 +254,7 @@ func (res *Result) physicalDesign(cfg Config) error {
 	if err != nil {
 		return fmt.Errorf("autoncs: placement: %w", err)
 	}
-	rt, err := route.Route(nl, pl, cfg.Route)
+	rt, err := route.Route(nl, pl, routeOptions(cfg))
 	if err != nil {
 		return fmt.Errorf("autoncs: routing: %w", err)
 	}
@@ -233,7 +277,7 @@ func (res *Result) Redesign(cfg Config) error {
 	if err != nil {
 		return fmt.Errorf("autoncs: placement: %w", err)
 	}
-	rt, err := route.Route(res.Netlist, pl, cfg.Route)
+	rt, err := route.Route(res.Netlist, pl, routeOptions(cfg))
 	if err != nil {
 		return fmt.Errorf("autoncs: routing: %w", err)
 	}

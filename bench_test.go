@@ -8,7 +8,9 @@
 package autoncs_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -379,4 +381,102 @@ func BenchmarkSparsitySweep(b *testing.B) {
 	}
 	b.ReportMetric(pts[0].SynapseShare, "synapse_share_s90")
 	b.ReportMetric(pts[1].SynapseShare, "synapse_share_s99")
+}
+
+// workerCounts returns the pool sizes the parallel benchmarks compare:
+// the serial baseline and the machine's full width. On a 1-CPU runner the
+// two coincide and the comparison is a no-op by construction.
+func workerCounts() []int {
+	counts := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkCompileParallel times the complete public-API flow across
+// worker-pool sizes. The determinism contract (see Config.Workers) means
+// every sub-benchmark computes the identical result; only the wall clock
+// may differ.
+func BenchmarkCompileParallel(b *testing.B) {
+	net := autoncs.RandomSparseNetwork(benchN, 0.94, benchSeed)
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := autoncs.DefaultConfig()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := autoncs.Compile(net, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileClusterOnlyParallel isolates the clustering flow (MSC +
+// GCP + ISC), where the parallel spectral and k-means kernels dominate, on
+// a mid-size network using the sparse Lanczos path.
+func BenchmarkCompileClusterOnlyParallel(b *testing.B) {
+	net := autoncs.RandomSparseNetwork(800, 0.97, benchSeed)
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := autoncs.DefaultConfig()
+			cfg.SkipPhysical = true
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := autoncs.Compile(net, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompile2000 is the large-scale testbench: a cluster-only
+// compile of a 2000-neuron sparse network, the regime the paper's
+// introduction motivates (4000+-input deep networks). A single iteration
+// takes minutes of CPU time (a lone GCP pass at this size measures
+// ~3m20s/op on one core), so the benchmark is opt-out via -short — the
+// Makefile's `bench` target skips it and `bench-large` runs it.
+func BenchmarkCompile2000(b *testing.B) {
+	if testing.Short() {
+		b.Skip("minutes per op; run via `make bench-large`")
+	}
+	net := autoncs.RandomSparseNetwork(2000, 0.985, benchSeed)
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := autoncs.DefaultConfig()
+			cfg.SkipPhysical = true
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := autoncs.Compile(net, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGCP2000Parallel times one GCP pass at the 2000-neuron scale —
+// the kernel that dominates BenchmarkCompile2000 — across pool sizes.
+func BenchmarkGCP2000Parallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("minutes per op; run via `make bench-large`")
+	}
+	rng := rand.New(rand.NewSource(benchSeed))
+	cm := graph.RandomClustered(2000, 50, 0.2, 0.0005, rng)
+	for _, workers := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.GCPN(cm, 64, rand.New(rand.NewSource(benchSeed)), workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"repro"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -30,8 +31,14 @@ func main() {
 		loadPath = flag.String("load", "", "load the network from a file (autoncs-net format)")
 		savePath = flag.String("save", "", "save the generated network to a file before compiling")
 		dumpPath = flag.String("dump", "", "write the resulting hybrid assignment as JSON")
+		workers  = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -workers %d (want ≥ 0)\n", *workers)
+		os.Exit(2)
+	}
+	parallel.SetDefault(*workers)
 
 	var net *autoncs.Network
 	switch {
@@ -69,6 +76,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.SkipPhysical = *skipPhys
 	cfg.SelectionQuantile = *quantile
+	cfg.Workers = *workers
 
 	res, err := autoncs.Compile(net, cfg)
 	if err != nil {

@@ -19,16 +19,23 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/hopfield"
+	"repro/internal/parallel"
 	"repro/internal/viz"
 )
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "run scaled-down versions of every experiment")
-		only  = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1")
-		seed  = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "run scaled-down versions of every experiment")
+		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "invalid -workers %d (want ≥ 0)\n", *workers)
+		os.Exit(2)
+	}
+	parallel.SetDefault(*workers)
 
 	n := 400
 	maxSize := 64

@@ -23,6 +23,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kmeans"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/xbar"
 )
 
@@ -48,7 +49,7 @@ type spectralEmbedding struct {
 	cols   int
 }
 
-func newSpectralEmbedding(w *graph.Conn, kHint int) (*spectralEmbedding, error) {
+func newSpectralEmbedding(w *graph.Conn, kHint, workers int) (*spectralEmbedding, error) {
 	sym := w
 	if !w.IsSymmetric() {
 		sym = w.Symmetrized()
@@ -70,7 +71,7 @@ func newSpectralEmbedding(w *graph.Conn, kHint int) (*spectralEmbedding, error) 
 	}
 	na := len(active)
 	if na > lanczosCutoff {
-		return lanczosEmbedding(sym, active, degAll, kHint)
+		return lanczosEmbedding(sym, active, degAll, kHint, workers)
 	}
 	l, d := sym.Laplacian()
 	lSub := matrix.NewDense(na, na)
@@ -81,7 +82,7 @@ func newSpectralEmbedding(w *graph.Conn, kHint int) (*spectralEmbedding, error) 
 			lSub.Set(a, b, l.At(i, j))
 		}
 	}
-	_, u, err := matrix.GeneralizedSym(lSub, dSub)
+	_, u, err := matrix.GeneralizedSymN(lSub, dSub, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: spectral embedding: %w", err)
 	}
@@ -92,7 +93,7 @@ func newSpectralEmbedding(w *graph.Conn, kHint int) (*spectralEmbedding, error) 
 // sparse solver: the symmetric normalized Laplacian operator is built from
 // the bitset adjacency, and the Ritz vectors are mapped back through
 // u = D^{-1/2}·w.
-func lanczosEmbedding(sym *graph.Conn, active []int, degAll []float64, kHint int) (*spectralEmbedding, error) {
+func lanczosEmbedding(sym *graph.Conn, active []int, degAll []float64, kHint, workers int) (*spectralEmbedding, error) {
 	na := len(active)
 	k := 4 * kHint
 	if k < 48 {
@@ -110,7 +111,9 @@ func lanczosEmbedding(sym *graph.Conn, active []int, degAll []float64, kHint int
 	for a, i := range active {
 		deg[a] = degAll[i]
 	}
-	op, err := matrix.NormalizedLaplacianOp(na, deg, func(a int, fn func(b int, w float64)) {
+	// The neighbor iterator allocates its scratch per call, so it is safe
+	// for the row-parallel matvec to invoke it concurrently.
+	op, err := matrix.NormalizedLaplacianOpN(na, deg, func(a int, fn func(b int, w float64)) {
 		i := active[a]
 		var buf []int
 		buf = sym.RowNeighbors(i, buf)
@@ -122,11 +125,11 @@ func lanczosEmbedding(sym *graph.Conn, active []int, degAll []float64, kHint int
 				fn(b, 1)
 			}
 		}
-	})
+	}, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: lanczos embedding: %w", err)
 	}
-	_, vecs, err := matrix.LanczosSmallest(op, na, k, rand.New(rand.NewSource(0x5eed)))
+	_, vecs, err := matrix.LanczosSmallestN(op, na, k, rand.New(rand.NewSource(0x5eed)), workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: lanczos embedding: %w", err)
 	}
@@ -181,24 +184,30 @@ func (e *spectralEmbedding) toGlobal(members [][]int) []Cluster {
 // need no crossbar). If fewer than k active neurons exist, k is reduced to
 // the active count. The rng drives k-means seeding only.
 func MSC(w *graph.Conn, k int, rng *rand.Rand) ([]Cluster, error) {
+	return MSCN(w, k, rng, 1)
+}
+
+// MSCN is MSC on a bounded worker pool (0 = package default). Clusterings
+// are bit-identical for any worker count.
+func MSCN(w *graph.Conn, k int, rng *rand.Rand, workers int) ([]Cluster, error) {
 	if k <= 0 {
 		panic(fmt.Sprintf("core: MSC with k = %d", k))
 	}
-	emb, err := newSpectralEmbedding(w, k)
+	emb, err := newSpectralEmbedding(w, k, workers)
 	if err != nil {
 		return nil, err
 	}
-	return mscOnEmbedding(emb, k, rng), nil
+	return mscOnEmbedding(emb, k, rng, workers), nil
 }
 
-func mscOnEmbedding(emb *spectralEmbedding, k int, rng *rand.Rand) []Cluster {
+func mscOnEmbedding(emb *spectralEmbedding, k int, rng *rand.Rand, workers int) []Cluster {
 	if len(emb.active) == 0 {
 		return nil
 	}
 	if k > len(emb.active) {
 		k = len(emb.active)
 	}
-	res := kmeans.Run(emb.points(k), k, rng)
+	res := kmeans.RunN(emb.points(k), k, rng, workers)
 	return emb.toGlobal(res.Members())
 }
 
@@ -218,17 +227,24 @@ const maxGCPOuter = 60
 // are recomputed from the current memberships in the re-cut embedding
 // (the pseudocode leaves the changed embedding dimension unreconciled).
 func GCP(w *graph.Conn, maxSize int, rng *rand.Rand) ([]Cluster, error) {
+	return GCPN(w, maxSize, rng, 1)
+}
+
+// GCPN is GCP on a bounded worker pool (0 = package default). The rng-
+// consuming control flow (seeding, split order, tie breaks) stays on the
+// calling goroutine, so clusterings are bit-identical for any worker count.
+func GCPN(w *graph.Conn, maxSize int, rng *rand.Rand, workers int) ([]Cluster, error) {
 	if maxSize <= 0 {
 		panic(fmt.Sprintf("core: GCP with maxSize = %d", maxSize))
 	}
-	emb, err := newSpectralEmbedding(w, (w.N()+maxSize-1)/maxSize)
+	emb, err := newSpectralEmbedding(w, (w.N()+maxSize-1)/maxSize, workers)
 	if err != nil {
 		return nil, err
 	}
-	return gcpOnEmbedding(emb, maxSize, rng), nil
+	return gcpOnEmbedding(emb, maxSize, rng, workers), nil
 }
 
-func gcpOnEmbedding(emb *spectralEmbedding, maxSize int, rng *rand.Rand) []Cluster {
+func gcpOnEmbedding(emb *spectralEmbedding, maxSize int, rng *rand.Rand, workers int) []Cluster {
 	n := len(emb.active)
 	if n == 0 {
 		return nil
@@ -242,7 +258,7 @@ func gcpOnEmbedding(emb *spectralEmbedding, maxSize int, rng *rand.Rand) []Clust
 	}
 	// First cut: k-means++ seeding on the k-dimensional embedding.
 	pts := emb.points(k)
-	res := kmeans.Run(pts, k, rng)
+	res := kmeans.RunN(pts, k, rng, workers)
 	members := res.Members()
 
 	for outer := 0; outer < maxGCPOuter; outer++ {
@@ -257,7 +273,7 @@ func gcpOnEmbedding(emb *spectralEmbedding, maxSize int, rng *rand.Rand) []Clust
 					}
 					continue
 				}
-				a, b, _, _ := kmeans.Split(pts, ms, rng)
+				a, b, _, _ := kmeans.SplitN(pts, ms, rng, workers)
 				next = append(next, a, b)
 				k++
 				flagInner = true
@@ -281,7 +297,7 @@ func gcpOnEmbedding(emb *spectralEmbedding, maxSize int, rng *rand.Rand) []Clust
 		for _, ms := range members {
 			centroids = append(centroids, centroidOf(pts, ms))
 		}
-		res = kmeans.RunWithCentroids(pts, centroids, rng)
+		res = kmeans.RunWithCentroidsN(pts, centroids, rng, workers)
 		members = res.Members()
 	}
 	// A final defensive pass: if the outer cap was hit with an oversized
@@ -296,7 +312,7 @@ func gcpOnEmbedding(emb *spectralEmbedding, maxSize int, rng *rand.Rand) []Clust
 				}
 				continue
 			}
-			a, b, _, _ := kmeans.Split(pts, ms, rng)
+			a, b, _, _ := kmeans.SplitN(pts, ms, rng, workers)
 			next = append(next, a, b)
 			changed = true
 		}
@@ -330,6 +346,11 @@ func centroidOf(points [][]float64, idx []int) []float64 {
 // per k is what makes traversing ~2× slower than GCP in the paper's
 // Figure 4 measurement.
 func Traversing(w *graph.Conn, maxSize int, rng *rand.Rand) ([]Cluster, error) {
+	return TraversingN(w, maxSize, rng, 1)
+}
+
+// TraversingN is Traversing on a bounded worker pool (0 = package default).
+func TraversingN(w *graph.Conn, maxSize int, rng *rand.Rand, workers int) ([]Cluster, error) {
 	if maxSize <= 0 {
 		panic(fmt.Sprintf("core: Traversing with maxSize = %d", maxSize))
 	}
@@ -339,7 +360,7 @@ func Traversing(w *graph.Conn, maxSize int, rng *rand.Rand) ([]Cluster, error) {
 		k = 1
 	}
 	for ; k <= n; k++ {
-		clusters, err := MSC(w, k, rng)
+		clusters, err := MSCN(w, k, rng, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -359,7 +380,7 @@ func Traversing(w *graph.Conn, maxSize int, rng *rand.Rand) ([]Cluster, error) {
 	}
 	// k = n always fits (singletons), so this is unreachable; kept for
 	// defensive completeness.
-	return MSC(w, n, rng)
+	return MSCN(w, n, rng, workers)
 }
 
 // ClusterStats describes one candidate cluster during an ISC iteration.
@@ -404,6 +425,11 @@ type ISCOptions struct {
 	MaxIterations int
 	// Rand drives k-means; required.
 	Rand *rand.Rand
+	// Workers bounds the worker pool of the data-parallel kernels
+	// (spectral solves, k-means, CP scoring). Zero means the parallel
+	// package default (runtime.NumCPU() unless overridden); negative is
+	// rejected. The clustering is bit-identical for every worker count.
+	Workers int
 }
 
 func (o *ISCOptions) normalize() error {
@@ -412,6 +438,9 @@ func (o *ISCOptions) normalize() error {
 	}
 	if o.Rand == nil {
 		return fmt.Errorf("core: ISC requires a random source")
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative worker count %d", o.Workers)
 	}
 	if o.UtilizationThreshold < 0 || o.UtilizationThreshold > 1 {
 		return fmt.Errorf("core: utilization threshold %g out of [0,1]", o.UtilizationThreshold)
@@ -441,21 +470,25 @@ func ISC(w *graph.Conn, opts ISCOptions) (*ISCResult, error) {
 		return nil, err
 	}
 	lib, rng := opts.Library, opts.Rand
+	workers := parallel.Resolve(opts.Workers)
 	total := w.NNZ()
 	remaining := w.Clone()
 	assign := &xbar.Assignment{N: w.N(), Total: total}
 	var trace []Iteration
 
 	for iter := 1; iter <= opts.MaxIterations && remaining.NNZ() > 0; iter++ {
-		clusters, err := GCP(remaining, lib.Max(), rng)
+		clusters, err := GCPN(remaining, lib.Max(), rng, workers)
 		if err != nil {
 			return nil, err
 		}
 		if len(clusters) == 0 {
 			break
 		}
-		stats := make([]ClusterStats, 0, len(clusters))
-		for _, cl := range clusters {
+		// Score every candidate cluster concurrently: CountWithin and
+		// FitFor only read the remaining network, and each cluster writes
+		// its own ordered slot.
+		stats := parallel.Map(workers, len(clusters), func(i int) ClusterStats {
+			cl := clusters[i]
 			m := remaining.CountWithin(cl)
 			fit, ok := lib.FitFor(len(cl))
 			cs := ClusterStats{Cluster: cl, Within: m}
@@ -463,8 +496,8 @@ func ISC(w *graph.Conn, opts ISCOptions) (*ISCResult, error) {
 				cs.FitSize = fit
 				cs.Preference = xbar.Preference(m, fit)
 			}
-			stats = append(stats, cs)
-		}
+			return cs
+		})
 		q := quantile(preferences(stats), opts.SelectionQuantile)
 		it := Iteration{Index: iter, QuartileCP: q}
 		if q <= 0 {

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xbar"
+)
+
+// Property tests for the clustering invariants the ISSUE-level acceptance
+// criteria name: partition soundness after GCP, the crossbar size bound,
+// ISC's utilization-threshold stopping rule, and connection conservation
+// in the hybrid assignment. Each property is checked over a family of
+// seeded random networks rather than a single fixture.
+
+func propNetworks(t *testing.T) []*graph.Conn {
+	t.Helper()
+	var nets []*graph.Conn
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nets = append(nets,
+			graph.RandomSparse(60+10*int(seed), 0.90+0.01*float64(seed), rng),
+			graph.RandomClustered(80, 16, 0.55, 0.01, rng),
+		)
+	}
+	return nets
+}
+
+// TestGCPPartitionProperty: GCP's clusters must be disjoint, cover every
+// active neuron exactly once, contain no inactive neurons, and respect the
+// maximum crossbar size.
+func TestGCPPartitionProperty(t *testing.T) {
+	const maxSize = 32
+	for ni, w := range propNetworks(t) {
+		for _, workers := range []int{1, 3} {
+			rng := rand.New(rand.NewSource(int64(ni) + 100))
+			clusters, err := GCPN(w.Symmetrized(), maxSize, rng, workers)
+			if err != nil {
+				t.Fatalf("net %d workers %d: %v", ni, workers, err)
+			}
+			seen := make(map[int]int)
+			for ci, c := range clusters {
+				if len(c) == 0 {
+					t.Errorf("net %d: empty cluster %d", ni, ci)
+				}
+				if len(c) > maxSize {
+					t.Errorf("net %d: cluster %d has %d neurons, max %d", ni, ci, len(c), maxSize)
+				}
+				for _, n := range c {
+					if prev, dup := seen[n]; dup {
+						t.Errorf("net %d: neuron %d in clusters %d and %d", ni, n, prev, ci)
+					}
+					seen[n] = ci
+				}
+			}
+			active := w.Symmetrized().ActiveNeurons()
+			if len(seen) != len(active) {
+				t.Errorf("net %d: clusters cover %d neurons, %d active", ni, len(seen), len(active))
+			}
+			for _, n := range active {
+				if _, ok := seen[n]; !ok {
+					t.Errorf("net %d: active neuron %d unclustered", ni, n)
+				}
+			}
+		}
+	}
+}
+
+// TestISCConservationProperty: every connection of the source network ends
+// up in exactly one place — some crossbar's Conns or the discrete-synapse
+// list — and each crossbar stays within its declared size.
+func TestISCConservationProperty(t *testing.T) {
+	lib := xbar.DefaultLibrary()
+	for ni, w := range propNetworks(t) {
+		res, err := ISC(w, ISCOptions{
+			Library:              lib,
+			UtilizationThreshold: 0.15,
+			Rand:                 rand.New(rand.NewSource(int64(ni) + 7)),
+		})
+		if err != nil {
+			t.Fatalf("net %d: %v", ni, err)
+		}
+		a := res.Assignment
+		if a.Total != w.NNZ() {
+			t.Errorf("net %d: assignment total %d, network has %d", ni, a.Total, w.NNZ())
+		}
+		mapped := 0
+		type edge = graph.Edge
+		seen := make(map[edge]bool)
+		for ci, cb := range a.Crossbars {
+			if len(cb.Conns) > cb.Size*cb.Size {
+				t.Errorf("net %d: crossbar %d holds %d conns in a %d×%d array",
+					ni, ci, len(cb.Conns), cb.Size, cb.Size)
+			}
+			for _, e := range cb.Conns {
+				if !w.Has(e.From, e.To) {
+					t.Errorf("net %d: crossbar %d maps non-edge %d→%d", ni, ci, e.From, e.To)
+				}
+				if seen[e] {
+					t.Errorf("net %d: connection %d→%d realized twice", ni, e.From, e.To)
+				}
+				seen[e] = true
+			}
+			mapped += len(cb.Conns)
+		}
+		for _, e := range a.Synapses {
+			if !w.Has(e.From, e.To) {
+				t.Errorf("net %d: synapse list has non-edge %d→%d", ni, e.From, e.To)
+			}
+			if seen[e] {
+				t.Errorf("net %d: connection %d→%d in both a crossbar and the synapse list",
+					ni, e.From, e.To)
+			}
+			seen[e] = true
+		}
+		if got := mapped + len(a.Synapses); got != w.NNZ() {
+			t.Errorf("net %d: %d crossbar conns + %d synapses = %d, want %d",
+				ni, mapped, len(a.Synapses), got, w.NNZ())
+		}
+		if err := a.Validate(w); err != nil {
+			t.Errorf("net %d: %v", ni, err)
+		}
+	}
+}
+
+// TestISCUtilizationThresholdProperty: the stopping rule means every
+// iteration that placed crossbars — except possibly the final one, whose
+// low utilization is what triggers the stop — has average placed-crossbar
+// utilization at or above the threshold.
+func TestISCUtilizationThresholdProperty(t *testing.T) {
+	const threshold = 0.20
+	for ni, w := range propNetworks(t) {
+		res, err := ISC(w, ISCOptions{
+			Library:              xbar.DefaultLibrary(),
+			UtilizationThreshold: threshold,
+			Rand:                 rand.New(rand.NewSource(int64(ni) + 21)),
+		})
+		if err != nil {
+			t.Fatalf("net %d: %v", ni, err)
+		}
+		last := -1
+		for i, it := range res.Trace {
+			if it.Placed > 0 {
+				last = i
+			}
+		}
+		for i, it := range res.Trace {
+			if i == last || it.Placed == 0 {
+				continue
+			}
+			if it.AvgUtilization < threshold {
+				t.Errorf("net %d: iteration %d placed %d crossbars at utilization %.4f < %.2f yet ISC continued",
+					ni, it.Index, it.Placed, it.AvgUtilization, threshold)
+			}
+		}
+	}
+}
+
+// TestISCSelectionQuantileProperty: in every iteration, each selected
+// cluster's CP meets the iteration's quartile threshold.
+func TestISCSelectionQuantileProperty(t *testing.T) {
+	for ni, w := range propNetworks(t) {
+		res, err := ISC(w, ISCOptions{
+			Library:              xbar.DefaultLibrary(),
+			UtilizationThreshold: 0.10,
+			SelectionQuantile:    0.75,
+			Rand:                 rand.New(rand.NewSource(int64(ni) + 33)),
+		})
+		if err != nil {
+			t.Fatalf("net %d: %v", ni, err)
+		}
+		for _, it := range res.Trace {
+			for _, cs := range it.Clusters {
+				if cs.Selected && cs.Preference < it.QuartileCP {
+					t.Errorf("net %d iter %d: selected cluster with CP %.4f below quartile %.4f",
+						ni, it.Index, cs.Preference, it.QuartileCP)
+				}
+				if cs.Selected && cs.FitSize == 0 {
+					t.Errorf("net %d iter %d: selected a cluster no library size fits", ni, it.Index)
+				}
+			}
+		}
+	}
+}
+
+// TestISCRejectsBadOptions: option validation must fail fast with
+// descriptive errors instead of misbehaving later.
+func TestISCRejectsBadOptions(t *testing.T) {
+	w := graph.RandomSparse(40, 0.9, rand.New(rand.NewSource(1)))
+	lib := xbar.DefaultLibrary()
+	cases := []struct {
+		name string
+		opts ISCOptions
+	}{
+		{"empty library", ISCOptions{Rand: rand.New(rand.NewSource(1))}},
+		{"nil rand", ISCOptions{Library: lib}},
+		{"negative workers", ISCOptions{Library: lib, Rand: rand.New(rand.NewSource(1)), Workers: -2}},
+		{"threshold above one", ISCOptions{Library: lib, Rand: rand.New(rand.NewSource(1)), UtilizationThreshold: 1.5}},
+		{"quantile above one", ISCOptions{Library: lib, Rand: rand.New(rand.NewSource(1)), SelectionQuantile: 1.5}},
+	}
+	for _, tc := range cases {
+		if _, err := ISC(w, tc.opts); err == nil {
+			t.Errorf("%s: ISC accepted invalid options", tc.name)
+		}
+	}
+}

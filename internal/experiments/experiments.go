@@ -56,7 +56,7 @@ type Figure3Result struct {
 func Figure3(n, maxSize int, seed int64) (*Figure3Result, error) {
 	cm := SparseNet(n, seed)
 	k := maxInt(1, n/maxSize)
-	clusters, err := core.MSC(cm, k, rand.New(rand.NewSource(seed)))
+	clusters, err := core.MSCN(cm, k, rand.New(rand.NewSource(seed)), 0)
 	if err != nil {
 		return nil, err
 	}
@@ -122,12 +122,12 @@ func Figure4(n, maxSize int, seed int64) (*Figure4Result, error) {
 	var out Figure4Result
 	var err error
 	if out.GCP, err = stats(func() ([]core.Cluster, error) {
-		return core.GCP(cm, maxSize, rand.New(rand.NewSource(seed)))
+		return core.GCPN(cm, maxSize, rand.New(rand.NewSource(seed)), 0)
 	}); err != nil {
 		return nil, err
 	}
 	if out.Traversing, err = stats(func() ([]core.Cluster, error) {
-		return core.Traversing(cm, maxSize, rand.New(rand.NewSource(seed)))
+		return core.TraversingN(cm, maxSize, rand.New(rand.NewSource(seed)), 0)
 	}); err != nil {
 		return nil, err
 	}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/xbar"
 )
 
@@ -27,18 +29,28 @@ type SparsityPoint struct {
 // experiment (not a paper figure) exercising the full clustering flow
 // across regimes.
 func SparsitySweep(n int, sparsities []float64, seed int64) ([]SparsityPoint, error) {
+	return SparsitySweepN(context.Background(), n, sparsities, seed, 0)
+}
+
+// SparsitySweepN is SparsitySweep with the sweep points fanned out across a
+// bounded worker pool (0 = package default) under ctx cancellation. Every
+// point derives its own rng streams from the seed and writes its own
+// ordered result slot, so the sweep is bit-identical for any worker count.
+func SparsitySweepN(ctx context.Context, n int, sparsities []float64, seed int64, workers int) ([]SparsityPoint, error) {
 	lib := xbar.DefaultLibrary()
-	var out []SparsityPoint
-	for _, sp := range sparsities {
+	out := make([]SparsityPoint, len(sparsities))
+	err := parallel.Do(ctx, workers, len(sparsities), func(i int) error {
+		sp := sparsities[i]
 		rng := rand.New(rand.NewSource(seed))
 		cm := graph.RandomSparse(n, sp, rng)
 		res, err := core.ISC(cm, core.ISCOptions{
 			Library:              lib,
 			UtilizationThreshold: xbar.FullCro(cm, lib).AvgUtilization(),
 			Rand:                 rand.New(rand.NewSource(seed + 1)),
+			Workers:              1, // the fan-out is across sweep points
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		a := res.Assignment
 		pt := SparsityPoint{
@@ -58,7 +70,11 @@ func SparsitySweep(n int, sparsities []float64, seed int64) ([]SparsityPoint, er
 		if cells+len(a.Synapses) > 0 {
 			pt.SynapseShare = float64(len(a.Synapses)) / float64(cells+len(a.Synapses))
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

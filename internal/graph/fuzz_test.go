@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoad drives the text-format parser with arbitrary input: malformed,
+// truncated, and oversized files must come back as errors — never as a
+// panic or an unbounded allocation — and anything the parser does accept
+// must be internally consistent and round-trip through Write.
+func FuzzLoad(f *testing.F) {
+	seeds := []string{
+		"autoncs-net v1\nn 4\n0 1\n1 0\n2 3\n",
+		"autoncs-net v1\nn 4\n",
+		"autoncs-net v1\nn 4\n# comment\n\n3 3\n",
+		"autoncs-net v1\nn 0\n",
+		"autoncs-net v1",
+		"autoncs-net v1\nn",
+		"autoncs-net v1\nn -7\n",
+		"autoncs-net v1\nn 999999999999999999999\n",
+		"autoncs-net v1\nn 2000000\n",
+		"autoncs-net v1\nn 4\n0\n",
+		"autoncs-net v1\nn 4\n0 9\n",
+		"autoncs-net v1\nn 4\n-1 2\n",
+		"autoncs-net v1\nn 4\n0 1 extra\n",
+		"autoncs-net v2\nn 4\n0 1\n",
+		"",
+		"garbage\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil network without error")
+		}
+		if c.N() < 0 || c.N() > MaxLoadNeurons {
+			t.Fatalf("accepted out-of-range size %d", c.N())
+		}
+		if c.NNZ() < 0 || c.NNZ() > c.N()*c.N() {
+			t.Fatalf("inconsistent NNZ %d for %d neurons", c.NNZ(), c.N())
+		}
+		// Round-trip: what the parser accepted must re-serialize to an
+		// equal network.
+		var buf strings.Builder
+		if err := c.Write(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round-trip re-read failed: %v", err)
+		}
+		if !c.Equal(back) {
+			t.Fatal("round-trip changed the network")
+		}
+	})
+}

@@ -20,6 +20,13 @@ import (
 
 const formatHeader = "autoncs-net v1"
 
+// MaxLoadNeurons caps the declared size of a loaded network. The bitset
+// representation costs n²/8 bytes, so an attacker-controlled (or merely
+// corrupted) size line would otherwise turn into an unbounded allocation:
+// 32768 neurons is already a 128 MB matrix, far beyond any network the
+// text edge-list format is practical for.
+const MaxLoadNeurons = 32768
+
 // Write serializes the network in the text edge-list format.
 func (c *Conn) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -65,6 +72,9 @@ func Read(r io.Reader) (*Conn, error) {
 	}
 	if n < 0 {
 		return nil, fmt.Errorf("graph: negative size %d", n)
+	}
+	if n > MaxLoadNeurons {
+		return nil, fmt.Errorf("graph: size %d exceeds the %d-neuron load limit", n, MaxLoadNeurons)
 	}
 	c := NewConn(n)
 	for {

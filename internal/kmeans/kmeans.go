@@ -3,12 +3,24 @@
 // random source, empty-cluster repair, and the "split one cluster into two"
 // primitive required by the greedy cluster size prediction (GCP) step of
 // AutoNCS.
+//
+// The hot Lloyd kernels — nearest-centroid assignment and per-cluster
+// centroid accumulation — run on a bounded worker pool (the *N variants).
+// Both are arranged so the result is bit-identical for any worker count:
+// assignment is per-point independent, and each cluster's coordinate sum is
+// accumulated by exactly one worker in ascending member order, the same
+// order the serial loop uses. All random choices (seeding, tie breaks,
+// empty-cluster repair) stay on the caller's goroutine, so the rng stream
+// is consumed in a fixed order.
 package kmeans
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // Result holds a clustering of n points into k clusters.
@@ -45,6 +57,12 @@ const maxIterations = 200
 // farthest from its assigned centroid, so every returned cluster is
 // non-empty.
 func Run(points [][]float64, k int, rng *rand.Rand) *Result {
+	return RunN(points, k, rng, 1)
+}
+
+// RunN is Run on a bounded worker pool (0 = the parallel package default).
+// The result is bit-identical to Run for every worker count.
+func RunN(points [][]float64, k int, rng *rand.Rand, workers int) *Result {
 	n := len(points)
 	if k <= 0 {
 		panic(fmt.Sprintf("kmeans: k = %d must be positive", k))
@@ -59,13 +77,18 @@ func Run(points [][]float64, k int, rng *rand.Rand) *Result {
 		}
 	}
 	centroids := seedPlusPlus(points, k, rng)
-	return lloyd(points, centroids, rng)
+	return lloyd(points, centroids, rng, workers)
 }
 
 // RunWithCentroids clusters points starting from the provided centroids
 // (copied, not mutated). Used by GCP, which maintains its own centroid set B
 // across splits. The number of clusters is len(centroids).
 func RunWithCentroids(points [][]float64, centroids [][]float64, rng *rand.Rand) *Result {
+	return RunWithCentroidsN(points, centroids, rng, 1)
+}
+
+// RunWithCentroidsN is RunWithCentroids on a bounded worker pool.
+func RunWithCentroidsN(points [][]float64, centroids [][]float64, rng *rand.Rand, workers int) *Result {
 	if len(centroids) == 0 {
 		panic("kmeans: no centroids")
 	}
@@ -80,22 +103,26 @@ func RunWithCentroids(points [][]float64, centroids [][]float64, rng *rand.Rand)
 		}
 		init[i] = append([]float64(nil), c...)
 	}
-	return lloyd(points, init, rng)
+	return lloyd(points, init, rng, workers)
 }
 
 // lloyd iterates assignment and centroid updates until assignments stop
-// changing or maxIterations is hit. It repairs empty clusters.
-func lloyd(points, centroids [][]float64, rng *rand.Rand) *Result {
+// changing or maxIterations is hit. It repairs empty clusters. The two
+// per-point kernels run on the worker pool; both are bit-identical to the
+// serial loop for any worker count (see the package comment).
+func lloyd(points, centroids [][]float64, rng *rand.Rand, workers int) *Result {
 	n, k := len(points), len(centroids)
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
 	}
 	counts := make([]int, k)
+	members := make([][]int, k)
 	iter := 0
 	for ; iter < maxIterations; iter++ {
-		changed := false
-		for i, p := range points {
+		var changed atomic.Bool
+		parallel.For(workers, n, func(i int) {
+			p := points[i]
 			best, bestD := 0, math.Inf(1)
 			for c, cent := range centroids {
 				if d := sqDist(p, cent); d < bestD {
@@ -104,27 +131,35 @@ func lloyd(points, centroids [][]float64, rng *rand.Rand) *Result {
 			}
 			if assign[i] != best {
 				assign[i] = best
-				changed = true
+				changed.Store(true)
 			}
-		}
-		if !changed && iter > 0 {
+		})
+		if !changed.Load() && iter > 0 {
 			break
 		}
-		// Update centroids.
+		// Update centroids: member lists are gathered serially in ascending
+		// point order, then each cluster's coordinate sum is accumulated by
+		// one worker over its members in that same order — the exact
+		// floating-point order of the serial accumulation.
+		for c := range members {
+			members[c] = members[c][:0]
+		}
+		for i := 0; i < n; i++ {
+			members[assign[i]] = append(members[assign[i]], i)
+		}
 		dim := len(points[0])
-		for c := range centroids {
+		parallel.For(workers, k, func(c int) {
+			counts[c] = len(members[c])
+			cent := centroids[c]
 			for d := 0; d < dim; d++ {
-				centroids[c][d] = 0
+				cent[d] = 0
 			}
-			counts[c] = 0
-		}
-		for i, p := range points {
-			c := assign[i]
-			counts[c]++
-			for d, v := range p {
-				centroids[c][d] += v
+			for _, i := range members[c] {
+				for d, v := range points[i] {
+					cent[d] += v
+				}
 			}
-		}
+		})
 		for c := range centroids {
 			if counts[c] == 0 {
 				// Empty cluster: reseed at the point farthest from its
@@ -212,6 +247,11 @@ func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 // the two centroids. If all points coincide, the split is by index halves so
 // progress is always made. len(members) must be at least 2.
 func Split(points [][]float64, members []int, rng *rand.Rand) (a, b []int, ca, cb []float64) {
+	return SplitN(points, members, rng, 1)
+}
+
+// SplitN is Split on a bounded worker pool.
+func SplitN(points [][]float64, members []int, rng *rand.Rand, workers int) (a, b []int, ca, cb []float64) {
 	if len(members) < 2 {
 		panic(fmt.Sprintf("kmeans: cannot split cluster of size %d", len(members)))
 	}
@@ -219,7 +259,7 @@ func Split(points [][]float64, members []int, rng *rand.Rand) (a, b []int, ca, c
 	for i, m := range members {
 		sub[i] = points[m]
 	}
-	res := Run(sub, 2, rng)
+	res := RunN(sub, 2, rng, workers)
 	for i, c := range res.Assign {
 		if c == 0 {
 			a = append(a, members[i])

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // EigSym computes the full eigendecomposition of a real symmetric matrix.
@@ -252,6 +254,14 @@ func sortEig(d []float64, v *Dense) {
 // It returns an error if any diagonal entry of D is not strictly positive
 // or if the eigensolver fails to converge.
 func GeneralizedSym(l *Dense, d []float64) (values []float64, u *Dense, err error) {
+	return GeneralizedSymN(l, d, 1)
+}
+
+// GeneralizedSymN is GeneralizedSym with the O(n²) congruence transform and
+// back-substitution run on a bounded worker pool (0 = package default). The
+// row kernels are per-row independent, so the result is bit-identical for
+// any worker count; the O(n³) tridiagonal eigensolve itself is sequential.
+func GeneralizedSymN(l *Dense, d []float64, workers int) (values []float64, u *Dense, err error) {
 	n := l.Rows()
 	if l.Cols() != n {
 		panic(fmt.Sprintf("matrix: GeneralizedSym of non-square %d×%d matrix", n, l.Cols()))
@@ -267,28 +277,29 @@ func GeneralizedSym(l *Dense, d []float64) (values []float64, u *Dense, err erro
 		invSqrt[i] = 1 / math.Sqrt(di)
 	}
 	m := NewDense(n, n)
-	for i := 0; i < n; i++ {
+	parallel.For(workers, n, func(i int) {
 		for j := 0; j < n; j++ {
 			m.Set(i, j, l.At(i, j)*invSqrt[i]*invSqrt[j])
 		}
-	}
-	// Enforce exact symmetry lost to rounding.
-	for i := 0; i < n; i++ {
+	})
+	// Enforce exact symmetry lost to rounding. Worker i owns the pair
+	// (i,j),(j,i) for all j > i, so rows never contend.
+	parallel.For(workers, n, func(i int) {
 		for j := i + 1; j < n; j++ {
 			avg := 0.5 * (m.At(i, j) + m.At(j, i))
 			m.Set(i, j, avg)
 			m.Set(j, i, avg)
 		}
-	}
+	})
 	vals, w, err := EigSym(m)
 	if err != nil {
 		return nil, nil, err
 	}
 	u = NewDense(n, n)
-	for i := 0; i < n; i++ {
+	parallel.For(workers, n, func(i int) {
 		for j := 0; j < n; j++ {
 			u.Set(i, j, invSqrt[i]*w.At(i, j))
 		}
-	}
+	})
 	return vals, u, nil
 }

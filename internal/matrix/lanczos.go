@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // MulVecFunc applies a symmetric linear operator: dst = A·src.
@@ -24,6 +26,16 @@ type MulVecFunc func(dst, src []float64)
 // is the Ritz vector for the i-th value. rng seeds the start vector, making
 // results deterministic for a fixed source.
 func LanczosSmallest(mul MulVecFunc, n, k int, rng *rand.Rand) (values []float64, vectors *Dense, err error) {
+	return LanczosSmallestN(mul, n, k, rng, 1)
+}
+
+// LanczosSmallestN is LanczosSmallest on a bounded worker pool (0 = package
+// default). The reorthogonalization fans its dot products out over basis
+// vectors and its update over vector elements, and the Ritz-vector assembly
+// parallelizes over rows; each kernel keeps a fixed floating-point
+// evaluation order, so the result is bit-identical for any worker count.
+// The rng is consumed only on the calling goroutine.
+func LanczosSmallestN(mul MulVecFunc, n, k int, rng *rand.Rand, workers int) (values []float64, vectors *Dense, err error) {
 	if k <= 0 || k > n {
 		panic(fmt.Sprintf("matrix: LanczosSmallest k=%d out of (0,%d]", k, n))
 	}
@@ -62,18 +74,9 @@ func LanczosSmallest(mul MulVecFunc, n, k int, rng *rand.Rand) (values []float64
 				w[i] -= b * prev[i]
 			}
 		}
-		// Full reorthogonalization (twice is enough).
-		for pass := 0; pass < 2; pass++ {
-			for _, q := range basis {
-				d := dotVec(w, q)
-				if d == 0 {
-					continue
-				}
-				for i := range w {
-					w[i] -= d * q[i]
-				}
-			}
-		}
+		// Full reorthogonalization (two classical Gram-Schmidt passes —
+		// "twice is enough").
+		orthogonalize(w, basis, workers)
 		b := math.Sqrt(dotVec(w, w))
 		if j == steps-1 {
 			break
@@ -86,12 +89,7 @@ func LanczosSmallest(mul MulVecFunc, n, k int, rng *rand.Rand) (values []float64
 			for i := range w {
 				w[i] = rng.NormFloat64()
 			}
-			for _, q := range basis {
-				d := dotVec(w, q)
-				for i := range w {
-					w[i] -= d * q[i]
-				}
-			}
+			orthogonalize(w, basis, workers)
 			nb := math.Sqrt(dotVec(w, w))
 			if nb < 1e-13 {
 				// The basis spans the whole reachable space.
@@ -121,19 +119,45 @@ func LanczosSmallest(mul MulVecFunc, n, k int, rng *rand.Rand) (values []float64
 		return nil, nil, fmt.Errorf("matrix: Lanczos projection eigensolve: %w", err)
 	}
 	sortEig(d, z)
-	// Assemble the k smallest Ritz pairs.
+	// Assemble the k smallest Ritz pairs (row-parallel; each row's sum
+	// runs in fixed j order, so the result is worker-count independent).
 	values = d[:k]
 	vectors = NewDense(n, k)
-	for col := 0; col < k; col++ {
-		for row := 0; row < n; row++ {
+	kk := k
+	parallel.For(workers, n, func(row int) {
+		for col := 0; col < kk; col++ {
 			s := 0.0
 			for j := 0; j < m; j++ {
 				s += basis[j][row] * z.At(j, col)
 			}
 			vectors.Set(row, col, s)
 		}
-	}
+	})
 	return values, vectors, nil
+}
+
+// orthogonalize removes from w its components along the (orthonormal) basis
+// vectors with two classical Gram-Schmidt passes. Within a pass, the dot
+// products against distinct basis vectors fan out across the pool (each dot
+// is a fixed-order serial sum), then the fused update subtracts the
+// projections element-parallel with the basis loop in fixed order — both
+// kernels are bit-identical for any worker count.
+func orthogonalize(w []float64, basis [][]float64, workers int) {
+	m := len(basis)
+	if m == 0 {
+		return
+	}
+	d := make([]float64, m)
+	for pass := 0; pass < 2; pass++ {
+		parallel.For(workers, m, func(j int) { d[j] = dotVec(w, basis[j]) })
+		parallel.For(workers, len(w), func(i int) {
+			s := 0.0
+			for j := 0; j < m; j++ {
+				s += d[j] * basis[j][i]
+			}
+			w[i] -= s
+		})
+	}
 }
 
 // NormalizedLaplacianOp returns the matvec of the symmetric normalized
@@ -144,6 +168,15 @@ func LanczosSmallest(mul MulVecFunc, n, k int, rng *rand.Rand) (values []float64
 // eigenvectors of L_sym, with identical eigenvalues — the relationship
 // spectral clustering uses.
 func NormalizedLaplacianOp(n int, deg []float64, forEach func(i int, fn func(j int, w float64))) (MulVecFunc, error) {
+	return NormalizedLaplacianOpN(n, deg, forEach, 1)
+}
+
+// NormalizedLaplacianOpN is NormalizedLaplacianOp with the matvec fanned out
+// over rows on a bounded worker pool (0 = package default). Each dst[i] is
+// an independent fixed-order accumulation, so the product is bit-identical
+// for any worker count. forEach may be called concurrently for distinct
+// rows and must therefore be re-entrant (read-only on shared state).
+func NormalizedLaplacianOpN(n int, deg []float64, forEach func(i int, fn func(j int, w float64)), workers int) (MulVecFunc, error) {
 	if len(deg) != n {
 		return nil, fmt.Errorf("matrix: %d degrees for n=%d", len(deg), n)
 	}
@@ -155,13 +188,13 @@ func NormalizedLaplacianOp(n int, deg []float64, forEach func(i int, fn func(j i
 		invSqrt[i] = 1 / math.Sqrt(d)
 	}
 	return func(dst, src []float64) {
-		for i := 0; i < n; i++ {
+		parallel.For(workers, n, func(i int) {
 			acc := 0.0
 			forEach(i, func(j int, w float64) {
 				acc += w * invSqrt[j] * src[j]
 			})
 			dst[i] = src[i] - invSqrt[i]*acc
-		}
+		})
 	}, nil
 }
 

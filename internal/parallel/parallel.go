@@ -1,0 +1,204 @@
+// Package parallel provides the bounded worker pools that run the flow's
+// data-parallel kernels (k-means assignment, spectral matvecs, CP scoring,
+// maze-route batches, sweep fan-out).
+//
+// # Determinism contract
+//
+// Every helper in this package guarantees that the observable result of a
+// computation is independent of the worker count. The pool only decides
+// *which goroutine* evaluates an index — never the order in which results
+// are combined:
+//
+//   - For/Do/Map evaluate fn(i) for each index exactly once, and each index
+//     writes only its own result slot. Reductions over the slots happen in
+//     the caller, in index order, after the pool drains.
+//   - ForChunks partitions the index space into fixed-size chunks whose
+//     boundaries depend only on n and the chunk size, never on the worker
+//     count, so chunk-local partial results combine in a fixed order.
+//   - No helper hands a shared random source to more than one goroutine.
+//     Callers that need randomness inside a parallel region must derive an
+//     independent stream per index from their seed.
+//
+// Consequently Workers=1 and Workers=N produce bit-identical outputs, which
+// the golden regression tests enforce end to end.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide default pool size, settable by CLIs
+// (the --workers flag). Zero means runtime.NumCPU() at call time.
+var defaultWorkers atomic.Int64
+
+// SetDefault sets the process-wide default worker count used when a Workers
+// knob is zero. n <= 0 restores the NumCPU default.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Default returns the process-wide default worker count.
+func Default() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// Resolve maps a Workers knob to a concrete pool size: 0 means the package
+// default (runtime.NumCPU() unless overridden by SetDefault). It panics on
+// negative values; public entry points (autoncs.Compile, the CLIs) validate
+// user input and return an error before reaching this point.
+func Resolve(workers int) int {
+	if workers < 0 {
+		panic(fmt.Sprintf("parallel: negative worker count %d", workers))
+	}
+	if workers == 0 {
+		return Default()
+	}
+	return workers
+}
+
+// For evaluates fn(i) for every i in [0, n) on up to workers goroutines
+// (0 = package default). fn must treat distinct indices independently; the
+// per-index side effects make the result deterministic regardless of the
+// pool size. With one worker (or tiny n) it runs inline with no goroutines.
+func For(workers, n int, fn func(i int)) {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	// Grab work in small strides to balance uneven per-index cost without
+	// a synchronization point per index.
+	stride := n / (workers * 8)
+	if stride < 1 {
+		stride = 1
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(stride))) - stride
+				if lo >= n {
+					return
+				}
+				hi := lo + stride
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunks partitions [0, n) into chunks of the given fixed size and
+// evaluates fn(c, lo, hi) for each chunk c covering [lo, hi). Chunk
+// boundaries depend only on n and chunk — never on workers — so per-chunk
+// partial results can be reduced in chunk order for a worker-independent
+// floating-point result.
+func ForChunks(workers, n, chunk int, fn func(c, lo, hi int)) {
+	if chunk < 1 {
+		panic(fmt.Sprintf("parallel: chunk size %d", chunk))
+	}
+	chunks := (n + chunk - 1) / chunk
+	For(workers, chunks, func(c int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(c, lo, hi)
+	})
+}
+
+// Do evaluates fn(i) for i in [0, n) on up to workers goroutines with
+// cancellation: once ctx is cancelled or any fn returns an error, remaining
+// indices are skipped. It returns the error of the lowest failing index
+// (deterministic regardless of scheduling), or ctx.Err() if the context was
+// cancelled first.
+func Do(ctx context.Context, workers, n int, fn func(i int) error) error {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		mu      sync.Mutex
+		firstI  = n
+		firstEB error
+		wg      sync.WaitGroup
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstI {
+			firstI, firstEB = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					stop.Store(true)
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEB != nil {
+		return firstEB
+	}
+	return ctx.Err()
+}
+
+// Map evaluates fn(i) for i in [0, n) in parallel and returns the results
+// in index order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,149 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 7, 100, 1025} {
+			hits := make([]int32, n)
+			For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksFixedBoundaries(t *testing.T) {
+	// Chunk boundaries must depend only on (n, chunk), not on workers.
+	bounds := func(workers int) []string {
+		var out []string
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		ForChunks(workers, 103, 16, func(c, lo, hi int) {
+			<-mu
+			out = append(out, fmt.Sprintf("%d:%d-%d", c, lo, hi))
+			mu <- struct{}{}
+		})
+		return out
+	}
+	a := bounds(1)
+	if len(a) != 7 {
+		t.Fatalf("103/16 → %d chunks, want 7", len(a))
+	}
+	seen := map[string]bool{}
+	for _, s := range a {
+		seen[s] = true
+	}
+	for _, s := range bounds(4) {
+		if !seen[s] {
+			t.Fatalf("chunk %s differs between worker counts", s)
+		}
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got := Map(workers, 50, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestDoReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := Do(context.Background(), workers, 100, func(i int) error {
+			switch i {
+			case 17:
+				return errA
+			case 60:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: got %v, want error of lowest index", workers, err)
+		}
+	}
+}
+
+func TestDoContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := Do(ctx, 4, 1_000_000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() >= 1_000_000 {
+		t.Fatal("cancellation did not short-circuit the pool")
+	}
+}
+
+func TestResolveAndDefault(t *testing.T) {
+	if Resolve(3) != 3 {
+		t.Fatal("explicit workers not honored")
+	}
+	SetDefault(5)
+	if Resolve(0) != 5 || Default() != 5 {
+		t.Fatal("SetDefault not honored")
+	}
+	SetDefault(0)
+	if Default() < 1 {
+		t.Fatal("default below 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative workers did not panic")
+		}
+	}()
+	Resolve(-1)
+}
+
+func TestDeterministicReduction(t *testing.T) {
+	// The documented pattern: fixed chunks, partials reduced in chunk
+	// order, bit-identical across worker counts.
+	n := 10_000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1.0 / float64(i+1)
+	}
+	sum := func(workers int) float64 {
+		const chunk = 256
+		partial := make([]float64, (n+chunk-1)/chunk)
+		ForChunks(workers, n, chunk, func(c, lo, hi int) {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			partial[c] = s
+		})
+		total := 0.0
+		for _, p := range partial {
+			total += p
+		}
+		return total
+	}
+	ref := sum(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := sum(w); got != ref {
+			t.Fatalf("workers=%d: %v != %v", w, got, ref)
+		}
+	}
+}

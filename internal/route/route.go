@@ -3,6 +3,15 @@
 // maze routing [16] ordered by each wire's distance from the center of
 // gravity of all cells (wire weight as the tie breaker), and capacity
 // relaxation to reroute wires that fail until every wire is routed.
+//
+// Wires are processed in batches of Options.BatchSize: every wire of a
+// batch runs its maze search against the usage snapshot at batch start
+// (those searches fan out across Options.Workers goroutines), then the
+// found paths commit sequentially in wire order, re-queueing any wire whose
+// path no longer fits under the edge capacity. The batch decomposition is
+// fixed by the wire order alone — never by the worker count — so routing
+// results are bit-identical for any Workers value; BatchSize=1 degenerates
+// to the classic fully sequential maze router.
 package route
 
 import (
@@ -12,6 +21,7 @@ import (
 	"sort"
 
 	"repro/internal/netlist"
+	"repro/internal/parallel"
 	"repro/internal/place"
 )
 
@@ -29,7 +39,19 @@ type Options struct {
 	// MaxRelaxations bounds how many times the virtual capacity may be
 	// relaxed (incremented) to route failing wires.
 	MaxRelaxations int
+	// BatchSize is how many wires route speculatively against one usage
+	// snapshot before their paths commit in order. Zero means the default
+	// (16); 1 reproduces the classic one-wire-at-a-time maze router. The
+	// routed result depends on BatchSize but never on Workers.
+	BatchSize int
+	// Workers bounds the goroutines running a batch's maze searches.
+	// Zero means the parallel package default; negative is rejected.
+	Workers int
 }
+
+// defaultBatchSize balances maze-search parallelism against the fidelity of
+// the usage picture each wire sees.
+const defaultBatchSize = 16
 
 // DefaultOptions returns the parameter set used by the experiments.
 func DefaultOptions() Options {
@@ -38,6 +60,7 @@ func DefaultOptions() Options {
 		Capacity:          8,
 		CongestionPenalty: 0.3,
 		MaxRelaxations:    64,
+		BatchSize:         defaultBatchSize,
 	}
 }
 
@@ -53,6 +76,12 @@ func (o Options) validate() error {
 	}
 	if o.MaxRelaxations < 0 {
 		return fmt.Errorf("route: max relaxations %d must be ≥ 0", o.MaxRelaxations)
+	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("route: batch size %d must be ≥ 0", o.BatchSize)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("route: negative worker count %d", o.Workers)
 	}
 	return nil
 }
@@ -243,6 +272,26 @@ func (g *grid) commit(path []int) {
 	}
 }
 
+// fits reports whether every edge of the path still has headroom under the
+// capacity — a speculative path can be invalidated by a batch-mate that
+// committed first.
+func (g *grid) fits(path []int, capacity int) bool {
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		if b < a {
+			a, b = b, a
+		}
+		if b == a+1 {
+			if g.hUsage[a] >= capacity {
+				return false
+			}
+		} else if g.vUsage[a] >= capacity {
+			return false
+		}
+	}
+	return true
+}
+
 // Route routes every wire of the netlist over the placed design. The wire
 // order follows the paper: ascending distance from the center of gravity of
 // all cells to the wire's closest pin, with the wire weight breaking ties
@@ -288,31 +337,72 @@ func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error)
 	})
 
 	capacity := opts.Capacity
+	batch := opts.BatchSize
+	if batch == 0 {
+		batch = defaultBatchSize
+	}
+	workers := parallel.Resolve(opts.Workers)
 	paths := make([][]int, len(nl.Wires))
+	// Source/target bins depend only on the placement; compute once.
+	src := make([]int, len(nl.Wires))
+	dst := make([]int, len(nl.Wires))
+	for i, w := range nl.Wires {
+		sc, sr := g.binOf(pl.X[w.From], pl.Y[w.From])
+		tc, tr := g.binOf(pl.X[w.To], pl.Y[w.To])
+		src[i], dst[i] = sr*g.cols+sc, tr*g.cols+tc
+	}
 	pending := order
 	for len(pending) > 0 {
-		var failed []int
-		for _, wi := range pending {
-			w := nl.Wires[wi]
-			sc, sr := g.binOf(pl.X[w.From], pl.Y[w.From])
-			tc, tr := g.binOf(pl.X[w.To], pl.Y[w.To])
-			s, t := sr*g.cols+sc, tr*g.cols+tc
-			if s == t {
-				// Same bin: direct connection, no grid edges consumed.
-				paths[wi] = []int{s}
-				res.WireLength[wi] = math.Max(
-					math.Abs(pl.X[w.From]-pl.X[w.To])+math.Abs(pl.Y[w.From]-pl.Y[w.To]),
-					opts.Theta/2)
-				continue
+		var failed []int // no path under the current capacity: relaxation candidates
+		queue := pending
+		for len(queue) > 0 {
+			b := batch
+			if b > len(queue) {
+				b = len(queue)
 			}
-			path := g.dijkstra(s, t, capacity, opts.CongestionPenalty)
-			if path == nil {
-				failed = append(failed, wi)
-				continue
+			cur := queue[:b]
+			queue = queue[b:]
+			// Speculative maze searches, all against the usage snapshot at
+			// batch start. dijkstra only reads the usage maps, so the
+			// searches fan out across the pool; the batch decomposition is
+			// fixed by the wire order, never by the worker count.
+			spec := parallel.Map(workers, b, func(i int) []int {
+				if src[cur[i]] == dst[cur[i]] {
+					return nil // same-bin wires route directly at commit
+				}
+				return g.dijkstra(src[cur[i]], dst[cur[i]], capacity, opts.CongestionPenalty)
+			})
+			// Commit in wire order. A path invalidated by a batch-mate's
+			// commit is re-queued ahead of the untried wires; the first
+			// wire of a batch always commits, so every batch makes
+			// progress.
+			var retry []int
+			for i, wi := range cur {
+				w := nl.Wires[wi]
+				if src[wi] == dst[wi] {
+					// Same bin: direct connection, no grid edges consumed.
+					paths[wi] = []int{src[wi]}
+					res.WireLength[wi] = math.Max(
+						math.Abs(pl.X[w.From]-pl.X[w.To])+math.Abs(pl.Y[w.From]-pl.Y[w.To]),
+						opts.Theta/2)
+					continue
+				}
+				path := spec[i]
+				if path == nil {
+					failed = append(failed, wi)
+					continue
+				}
+				if !g.fits(path, capacity) {
+					retry = append(retry, wi)
+					continue
+				}
+				g.commit(path)
+				paths[wi] = path
+				res.WireLength[wi] = float64(len(path)-1) * opts.Theta
 			}
-			g.commit(path)
-			paths[wi] = path
-			res.WireLength[wi] = float64(len(path)-1) * opts.Theta
+			if len(retry) > 0 {
+				queue = append(retry, queue...)
+			}
 		}
 		if len(failed) == 0 {
 			break

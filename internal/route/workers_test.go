@@ -1,0 +1,67 @@
+package route
+
+import (
+	"testing"
+)
+
+// TestRouteWorkerInvariance: the batched maze router's output may depend on
+// BatchSize (the speculation granularity is part of the algorithm) but
+// never on Workers — a batch's searches run against the same usage
+// snapshot and commit in wire order whatever the pool size.
+func TestRouteWorkerInvariance(t *testing.T) {
+	nl, pl := gridNetlist(64, 3)
+	for _, batch := range []int{1, 4, 16} {
+		run := func(workers int) *Result {
+			opts := DefaultOptions()
+			opts.BatchSize = batch
+			opts.Workers = workers
+			r, err := Route(nl, pl, opts)
+			if err != nil {
+				t.Fatalf("batch=%d workers=%d: %v", batch, workers, err)
+			}
+			return r
+		}
+		serial := run(1)
+		for _, workers := range []int{2, 4, 11} {
+			got := run(workers)
+			if got.Total != serial.Total {
+				t.Fatalf("batch=%d workers=%d: total %g, serial %g", batch, workers, got.Total, serial.Total)
+			}
+			if got.Relaxations != serial.Relaxations || got.FinalCapacity != serial.FinalCapacity {
+				t.Fatalf("batch=%d workers=%d: relaxation history diverged", batch, workers)
+			}
+			for i := range serial.WireLength {
+				if got.WireLength[i] != serial.WireLength[i] {
+					t.Fatalf("batch=%d workers=%d: wire %d length %g, serial %g",
+						batch, workers, i, got.WireLength[i], serial.WireLength[i])
+				}
+			}
+			for i := range serial.Usage {
+				if got.Usage[i] != serial.Usage[i] {
+					t.Fatalf("batch=%d workers=%d: usage bin %d = %d, serial %d",
+						batch, workers, i, got.Usage[i], serial.Usage[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRouteBatchSizeOne: BatchSize=1 must reproduce the classic sequential
+// maze router exactly — it is the same algorithm with no speculation.
+func TestRouteBatchSizeOne(t *testing.T) {
+	nl, pl := gridNetlist(36, 4)
+	opts := DefaultOptions()
+	opts.BatchSize = 1
+	seq, err := Route(nl, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	par, err := Route(nl, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Total != par.Total {
+		t.Fatalf("BatchSize=1 depends on workers: %g vs %g", seq.Total, par.Total)
+	}
+}
