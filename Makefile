@@ -1,6 +1,14 @@
 GO ?= go
 
-.PHONY: all build vet test test-race fuzz bench bench-large golden-update clean
+# bench-save / bench-compare file locations (override to keep several
+# baselines around, e.g. `make bench-save BENCH_OLD=bench_main.txt`).
+BENCH_OLD ?= bench_old.txt
+BENCH_NEW ?= bench_new.txt
+# How many samples benchstat gets per benchmark. The suite is sized for
+# -benchtime=1x; raise the count for tighter confidence intervals.
+BENCH_COUNT ?= 6
+
+.PHONY: all build vet test test-race fuzz bench bench-save bench-compare bench-large golden-update clean
 
 all: build vet test
 
@@ -26,6 +34,25 @@ fuzz:
 # -short skips the 2000-neuron benchmarks (minutes per op); see bench-large.
 bench:
 	$(GO) test -short -bench=. -benchtime=1x -run='^$$' ./...
+
+# Old-vs-new comparison workflow:
+#   git stash (or checkout the old revision) && make bench-save
+#   ...apply the change...                   && make bench-compare
+# bench-save records the baseline; bench-compare records the current tree
+# and feeds both to benchstat. benchstat is optional tooling — when it is
+# not on PATH the raw files are kept and the install hint is printed.
+bench-save:
+	$(GO) test -short -bench=. -benchmem -count=$(BENCH_COUNT) -benchtime=1x -run='^$$' ./... | tee $(BENCH_OLD)
+
+bench-compare:
+	@test -f $(BENCH_OLD) || { echo "no baseline $(BENCH_OLD); run 'make bench-save' on the old revision first"; exit 1; }
+	$(GO) test -short -bench=. -benchmem -count=$(BENCH_COUNT) -benchtime=1x -run='^$$' ./... | tee $(BENCH_NEW)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_OLD) $(BENCH_NEW); \
+	else \
+		echo "benchstat not found; raw results are in $(BENCH_OLD) and $(BENCH_NEW)"; \
+		echo "install with: go install golang.org/x/perf/cmd/benchstat@latest"; \
+	fi
 
 bench-large:
 	$(GO) test -bench='2000' -benchtime=1x -run='^$$' -timeout=4h ./

@@ -439,7 +439,7 @@ func BenchmarkCompileClusterOnlyParallel(b *testing.B) {
 // compile of a 2000-neuron sparse network, the regime the paper's
 // introduction motivates (4000+-input deep networks). A single iteration
 // takes minutes of CPU time (a lone GCP pass at this size measures
-// ~3m20s/op on one core), so the benchmark is opt-out via -short — the
+// ~1 min/op on one core), so the benchmark is opt-out via -short — the
 // Makefile's `bench` target skips it and `bench-large` runs it.
 func BenchmarkCompile2000(b *testing.B) {
 	if testing.Short() {

@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"text/tabwriter"
 
+	autoncs "repro"
 	"repro/internal/experiments"
 	"repro/internal/hopfield"
 	"repro/internal/parallel"
@@ -26,9 +28,18 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "run scaled-down versions of every experiment")
-		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1")
+		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1, reliability, fidelity, compile2000")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
+		large   = flag.Bool("large", false, "also run compile2000, the 2000-neuron cluster-only compile (minutes of CPU time)")
+
+		benchout   = flag.String("benchout", "", "write a machine-readable JSON benchmark report (per-stage wall time, allocations, paper metrics) to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile (taken after all stages) to this file")
+
+		baselineWall   = flag.Float64("baseline-wall", 0, "pre-optimization compile2000 wall seconds to embed in the report")
+		baselineAllocs = flag.Uint64("baseline-allocs", 0, "pre-optimization compile2000 allocation count to embed in the report")
+		baselineRef    = flag.String("baseline-ref", "", "description of the baseline build (e.g. a commit) for the report")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -36,6 +47,27 @@ func main() {
 		os.Exit(2)
 	}
 	parallel.SetDefault(*workers)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	var rec *reporter
+	if *benchout != "" {
+		rec = newReporter(*seed, *workers, *quick, *large)
+	}
 
 	n := 400
 	maxSize := 64
@@ -54,22 +86,70 @@ func main() {
 		if *only != "" && *only != name {
 			return
 		}
-		if err := f(); err != nil {
+		if err := rec.run(name, f); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
 
-	run("fig3", func() error { return figure3(n, maxSize, *seed) })
-	run("fig4", func() error { return figure4(n, maxSize, *seed) })
-	run("fig56", func() error { return figure56(n, *seed) })
-	run("fig7", func() error { return figureISC(tbs[0], 7, *seed) })
-	run("fig8", func() error { return figureISC(tbs[1], 8, *seed) })
-	run("fig9", func() error { return figureISC(tbs[2], 9, *seed) })
-	run("fig10", func() error { return figure10(tbs[2], *seed) })
-	run("table1", func() error { return table1(tbs, *seed) })
+	run("fig3", func() error { return figure3(n, maxSize, *seed, rec) })
+	run("fig4", func() error { return figure4(n, maxSize, *seed, rec) })
+	run("fig56", func() error { return figure56(n, *seed, rec) })
+	run("fig7", func() error { return figureISC(tbs[0], 7, *seed, rec) })
+	run("fig8", func() error { return figureISC(tbs[1], 8, *seed, rec) })
+	run("fig9", func() error { return figureISC(tbs[2], 9, *seed, rec) })
+	run("fig10", func() error { return figure10(tbs[2], *seed, rec) })
+	run("table1", func() error { return table1(tbs, *seed, rec) })
 	run("reliability", func() error { return reliability(*quick, *seed) })
 	run("fidelity", func() error { return fidelity(*quick, *seed) })
+	if *large || *only == "compile2000" {
+		run("compile2000", func() error { return compile2000(*seed, *workers, rec) })
+	}
+
+	rec.setBaseline(*baselineRef, *baselineWall, *baselineAllocs)
+	if *benchout != "" {
+		if err := rec.write(*benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchout: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nbenchmark report written to %s\n", *benchout)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// compile2000 is the large-scale stage: the same 2000-neuron cluster-only
+// compile BenchmarkCompile2000 times (the regime the paper's introduction
+// motivates), run once so the report captures paper-scale wall time and
+// allocation behaviour.
+func compile2000(seed int64, workers int, rec *reporter) error {
+	header("compile2000 — 2000-neuron cluster-only compile")
+	net := autoncs.RandomSparseNetwork(2000, 0.985, seed)
+	cfg := autoncs.DefaultConfig()
+	cfg.SkipPhysical = true
+	cfg.Workers = workers
+	res, err := autoncs.Compile(net, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crossbars: %d, synapses: %d, outliers %.1f%%, %d ISC iterations\n",
+		len(res.Assignment.Crossbars), len(res.Assignment.Synapses),
+		100*res.Assignment.OutlierRatio(), len(res.Trace))
+	rec.metric("crossbars", float64(len(res.Assignment.Crossbars)))
+	rec.metric("synapses", float64(len(res.Assignment.Synapses)))
+	rec.metric("outlier_ratio", res.Assignment.OutlierRatio())
+	rec.metric("isc_iterations", float64(len(res.Trace)))
+	return nil
 }
 
 // fidelity verifies the implicit functional claim of Section 3 ("our
@@ -122,7 +202,7 @@ func header(s string) {
 	fmt.Printf("\n================ %s ================\n", s)
 }
 
-func figure3(n, maxSize int, seed int64) error {
+func figure3(n, maxSize int, seed int64, rec *reporter) error {
 	header("Figure 3 — Modified Spectral Clustering (MSC)")
 	res, err := experiments.Figure3(n, maxSize, seed)
 	if err != nil {
@@ -131,6 +211,8 @@ func figure3(n, maxSize int, seed int64) error {
 	fmt.Printf("network: %d neurons, %d connections\n", res.N, res.Connections)
 	fmt.Printf("clusters: %d, outlier ratio after one MSC pass: %.1f%% (paper: 57%% on its example)\n",
 		len(res.Clusters), 100*res.OutlierRatio)
+	rec.metric("clusters", float64(len(res.Clusters)))
+	rec.metric("outlier_ratio", res.OutlierRatio)
 	fmt.Println("\n(a) original connection matrix:")
 	fmt.Println(res.Before)
 	fmt.Println("(b) clustered (neurons permuted by cluster):")
@@ -138,7 +220,7 @@ func figure3(n, maxSize int, seed int64) error {
 	return nil
 }
 
-func figure4(n, maxSize int, seed int64) error {
+func figure4(n, maxSize int, seed int64, rec *reporter) error {
 	header("Figure 4 — GCP vs traversing")
 	res, err := experiments.Figure4(n, maxSize, seed)
 	if err != nil {
@@ -153,10 +235,13 @@ func figure4(n, maxSize int, seed int64) error {
 	w.Flush()
 	speedup := float64(res.Traversing.Elapsed) / float64(res.GCP.Elapsed)
 	fmt.Printf("GCP speedup: %.2fx (paper: 190ms vs 106ms ≈ 1.8x)\n", speedup)
+	rec.metric("gcp_seconds", res.GCP.Elapsed.Seconds())
+	rec.metric("traversing_seconds", res.Traversing.Elapsed.Seconds())
+	rec.metric("gcp_speedup", speedup)
 	return nil
 }
 
-func figure56(n int, seed int64) error {
+func figure56(n int, seed int64, rec *reporter) error {
 	header("Figures 5 & 6 — ISC iterations (remaining network)")
 	res, err := experiments.Figure56(n, seed, true)
 	if err != nil {
@@ -169,10 +254,12 @@ func figure56(n int, seed int64) error {
 	last := res.Iterations[len(res.Iterations)-1]
 	fmt.Printf("\nremaining network after iteration %d (%.1f%% outliers; paper: <5%% after 11):\n%s\n",
 		last.Index, 100*res.FinalOutlierRatio, last.RemainingView)
+	rec.metric("iterations", float64(len(res.Iterations)))
+	rec.metric("final_outlier_ratio", res.FinalOutlierRatio)
 	return nil
 }
 
-func figureISC(tb hopfield.Testbench, figNo int, seed int64) error {
+func figureISC(tb hopfield.Testbench, figNo int, seed int64, rec *reporter) error {
 	header(fmt.Sprintf("Figure %d — ISC efficacy, testbench %d (M=%d, N=%d)", figNo, tb.ID, tb.M, tb.N))
 	a, err := experiments.FigureISC(tb, seed)
 	if err != nil {
@@ -215,6 +302,9 @@ func figureISC(tb hopfield.Testbench, figNo int, seed int64) error {
 		crossOnly, synOnly, both, neither)
 	fmt.Printf("  avg total fanin+fanout vs baseline: %.0f%% (paper: ≈80%%)\n", 100*a.AvgSumRatio)
 	fmt.Printf("summary: %d iterations, final outliers %.1f%% \n", a.Iterations, 100*a.FinalOutliers)
+	rec.metric("iterations", float64(a.Iterations))
+	rec.metric("final_outlier_ratio", a.FinalOutliers)
+	rec.metric("avg_fan_ratio", a.AvgSumRatio)
 	return nil
 }
 
@@ -227,7 +317,7 @@ func bar(v float64, width int) string {
 	return string(out)
 }
 
-func figure10(tb hopfield.Testbench, seed int64) error {
+func figure10(tb hopfield.Testbench, seed int64, rec *reporter) error {
 	header("Figure 10 — placement & routing of testbench 3")
 	res, err := experiments.Figure10(tb, seed)
 	if err != nil {
@@ -240,10 +330,14 @@ func figure10(tb hopfield.Testbench, seed int64) error {
 	fmt.Printf("(d) AutoNCS congestion (peak %d wires/bin, %d capacity relaxations):\n%s\n",
 		res.AutoNCSPeakUsage, res.AutoNCSRelaxations, res.AutoNCSCongestion)
 	fmt.Printf("wirelength: AutoNCS %.0f µm vs FullCro %.0f µm\n", res.AutoNCSWirelength, res.FullCroWirelength)
+	rec.metric("autoncs_wirelength_um", res.AutoNCSWirelength)
+	rec.metric("fullcro_wirelength_um", res.FullCroWirelength)
+	rec.metric("autoncs_peak_usage", float64(res.AutoNCSPeakUsage))
+	rec.metric("fullcro_peak_usage", float64(res.FullCroPeakUsage))
 	return nil
 }
 
-func table1(tbs []hopfield.Testbench, seed int64) error {
+func table1(tbs []hopfield.Testbench, seed int64, rec *reporter) error {
 	header("Table 1 — physical design cost evaluation")
 	res, err := experiments.Table1(tbs, seed)
 	if err != nil {
@@ -263,5 +357,8 @@ func table1(tbs []hopfield.Testbench, seed int64) error {
 	fmt.Printf("\naverage reductions: wirelength %.2f%%, area %.2f%%, delay %.2f%%\n",
 		res.Avg.Wirelength, res.Avg.Area, res.Avg.Delay)
 	fmt.Println("paper:              wirelength 47.80%, area 31.97%, delay 47.18%")
+	rec.metric("avg_wirelength_reduction_pct", res.Avg.Wirelength)
+	rec.metric("avg_area_reduction_pct", res.Avg.Area)
+	rec.metric("avg_delay_reduction_pct", res.Avg.Delay)
 	return nil
 }

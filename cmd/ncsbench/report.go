@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// StageStats is one experiment stage of a BenchReport: wall time, the
+// allocation counters of the Go runtime across the stage, and the paper
+// metrics the stage produced.
+type StageStats struct {
+	Name        string `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Allocs and AllocBytes are the runtime.MemStats deltas (Mallocs,
+	// TotalAlloc) over the stage: total heap objects and bytes allocated,
+	// regardless of later collection.
+	Allocs     uint64             `json:"allocs"`
+	AllocBytes uint64             `json:"alloc_bytes"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline pins the pre-optimization reference measurement of the
+// compile2000 stage so the report carries its own comparison.
+type Baseline struct {
+	Ref         string  `json:"ref,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Allocs      uint64  `json:"allocs"`
+}
+
+// BenchReport is the machine-readable run record written by -benchout.
+// README.md ("Performance") documents how to read it.
+type BenchReport struct {
+	GeneratedBy string       `json:"generated_by"`
+	GoVersion   string       `json:"go_version"`
+	NumCPU      int          `json:"num_cpu"`
+	Seed        int64        `json:"seed"`
+	Workers     int          `json:"workers"`
+	Quick       bool         `json:"quick"`
+	Large       bool         `json:"large"`
+	Stages      []StageStats `json:"stages"`
+	// Baseline and the two ratios are present when -baseline-wall /
+	// -baseline-allocs were given and the compile2000 stage ran: SpeedupWall
+	// = baseline wall / current wall, AllocsRatio = baseline allocs /
+	// current allocs (higher is better for both).
+	Baseline    *Baseline `json:"baseline,omitempty"`
+	SpeedupWall float64   `json:"speedup_wall,omitempty"`
+	AllocsRatio float64   `json:"allocs_ratio,omitempty"`
+}
+
+// reporter accumulates per-stage stats while the experiments print their
+// terminal renditions. A nil reporter is inert, so the instrumentation
+// costs nothing when -benchout is unset.
+type reporter struct {
+	rep   BenchReport
+	stage *StageStats
+}
+
+func newReporter(seed int64, workers int, quick, large bool) *reporter {
+	return &reporter{rep: BenchReport{
+		GeneratedBy: "cmd/ncsbench",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Seed:        seed,
+		Workers:     workers,
+		Quick:       quick,
+		Large:       large,
+	}}
+}
+
+// run times f as one named stage, capturing the allocation deltas.
+func (r *reporter) run(name string, f func() error) error {
+	if r == nil {
+		return f()
+	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	r.stage = &StageStats{Name: name}
+	start := time.Now()
+	err := f()
+	wall := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	r.stage.WallSeconds = wall.Seconds()
+	r.stage.Allocs = after.Mallocs - before.Mallocs
+	r.stage.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	r.rep.Stages = append(r.rep.Stages, *r.stage)
+	r.stage = nil
+	return err
+}
+
+// metric attaches a named value to the stage currently running.
+func (r *reporter) metric(name string, v float64) {
+	if r == nil || r.stage == nil {
+		return
+	}
+	if r.stage.Metrics == nil {
+		r.stage.Metrics = make(map[string]float64)
+	}
+	r.stage.Metrics[name] = v
+}
+
+// setBaseline embeds the pre-optimization compile2000 reference and
+// computes the speedup ratios against the stage of the same name.
+func (r *reporter) setBaseline(ref string, wallSeconds float64, allocs uint64) {
+	if r == nil || (wallSeconds == 0 && allocs == 0) {
+		return
+	}
+	r.rep.Baseline = &Baseline{Ref: ref, WallSeconds: wallSeconds, Allocs: allocs}
+	for _, st := range r.rep.Stages {
+		if st.Name != "compile2000" {
+			continue
+		}
+		if st.WallSeconds > 0 && wallSeconds > 0 {
+			r.rep.SpeedupWall = wallSeconds / st.WallSeconds
+		}
+		if st.Allocs > 0 && allocs > 0 {
+			r.rep.AllocsRatio = float64(allocs) / float64(st.Allocs)
+		}
+	}
+}
+
+// write emits the report as indented JSON.
+func (r *reporter) write(path string) error {
+	if r == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(&r.rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write bench report: %w", err)
+	}
+	return nil
+}

@@ -26,6 +26,10 @@ var goldenCases = []goldenCase{
 	{Name: "n120_s92_seed1", N: 120, Sparsity: 0.92, Seed: 1},
 	{Name: "n200_s94_seed2", N: 200, Sparsity: 0.94, Seed: 2},
 	{Name: "n300_s96_seed3", N: 300, Sparsity: 0.96, Seed: 3},
+	// Above lanczosCutoff: the first ISC rounds embed through the sparse
+	// Lanczos solver, pinning the sparse path (restricted CSR, workspace
+	// reuse, blocked kernels) that the three dense-path cases never reach.
+	{Name: "n720_s985_seed4", N: 720, Sparsity: 0.985, Seed: 4},
 }
 
 // goldenSummary is the committed shape of a compile: the clustering-level
@@ -93,6 +97,9 @@ func TestCompileGolden(t *testing.T) {
 	for _, gc := range goldenCases {
 		gc := gc
 		t.Run(gc.Name, func(t *testing.T) {
+			if raceEnabled && gc.N > 500 {
+				t.Skip("Lanczos-path compile takes minutes under the race detector; its kernels are race-tested per package")
+			}
 			path := filepath.Join("testdata", "golden", gc.Name+".json")
 			serial := compileSummary(t, gc, 1)
 			for _, w := range workerSet[1:] {

@@ -26,6 +26,13 @@ type Conn struct {
 	words int // words per row
 	bits  []uint64
 	count int // number of set connections
+
+	// version counts mutations (Set/Clear that changed a bit); it keys the
+	// cached symmetrized CSR below so repeated spectral embeddings of an
+	// unchanged network reuse one O(E) build.
+	version uint64
+	symCSR  *CSR
+	symVer  uint64
 }
 
 // NewConn returns an empty connection matrix over n neurons.
@@ -73,6 +80,7 @@ func (c *Conn) Set(i, j int) {
 	if *w&mask == 0 {
 		*w |= mask
 		c.count++
+		c.version++
 	}
 }
 
@@ -84,6 +92,7 @@ func (c *Conn) Clear(i, j int) {
 	if *w&mask != 0 {
 		*w &^= mask
 		c.count--
+		c.version++
 	}
 }
 
@@ -181,6 +190,22 @@ func (c *Conn) Symmetrized() *Conn {
 	return out
 }
 
+// SymmetrizedCSR returns the CSR view of W ∨ Wᵀ with cached Laplacian
+// degrees, built in O(E + n) and memoized until the next mutation — the
+// sparse-first input of the spectral pipeline. Unlike Symmetrized it never
+// materializes a second bitset matrix. The returned CSR is shared: callers
+// must treat it as read-only. Not safe for use concurrent with mutation;
+// concurrent readers of an unmutated Conn should obtain the CSR once on the
+// control goroutine and share the snapshot.
+func (c *Conn) SymmetrizedCSR() *CSR {
+	if c.symCSR != nil && c.symVer == c.version {
+		return c.symCSR
+	}
+	c.symCSR = newSymmetrizedCSR(c)
+	c.symVer = c.version
+	return c.symCSR
+}
+
 // IsSymmetric reports whether w_ij == w_ji for all pairs.
 func (c *Conn) IsSymmetric() bool {
 	var buf []int
@@ -220,24 +245,30 @@ func (c *Conn) Sub(idx []int) *Conn {
 	return out
 }
 
+// memberMask builds a one-row bitset with the bits of idx set. Word-wide
+// AND against it replaces the per-neuron membership hash the within-cluster
+// kernels used to build — O(|idx|·words) instead of O(E_idx) map lookups.
+func (c *Conn) memberMask(idx []int) []uint64 {
+	mask := make([]uint64, c.words)
+	for _, v := range idx {
+		c.checkIdx(v, v)
+		mask[v/wordBits] |= 1 << (uint(v) % wordBits)
+	}
+	return mask
+}
+
 // CountWithin returns the number of connections (i→j) with both endpoints in
 // idx. This is the crossbar "utilized connections" m for a cluster.
 func (c *Conn) CountWithin(idx []int) int {
 	if len(idx) == 0 {
 		return 0
 	}
-	member := make(map[int]bool, len(idx))
-	for _, v := range idx {
-		member[v] = true
-	}
+	mask := c.memberMask(idx)
 	m := 0
-	var buf []int
 	for _, i := range idx {
-		buf = c.RowNeighbors(i, buf[:0])
-		for _, j := range buf {
-			if member[j] {
-				m++
-			}
+		row := c.bits[i*c.words : (i+1)*c.words]
+		for wi, w := range row {
+			m += bits.OnesCount64(w & mask[wi])
 		}
 	}
 	return m
@@ -246,17 +277,20 @@ func (c *Conn) CountWithin(idx []int) int {
 // WithinEdges returns every connection (i→j) with both endpoints in idx, in
 // the iteration order of idx then neighbor order.
 func (c *Conn) WithinEdges(idx []int) []Edge {
-	member := make(map[int]bool, len(idx))
-	for _, v := range idx {
-		member[v] = true
+	if len(idx) == 0 {
+		return nil
 	}
+	mask := c.memberMask(idx)
 	var out []Edge
-	var buf []int
 	for _, i := range idx {
-		buf = c.RowNeighbors(i, buf[:0])
-		for _, j := range buf {
-			if member[j] {
-				out = append(out, Edge{From: i, To: j})
+		row := c.bits[i*c.words : (i+1)*c.words]
+		for wi, w := range row {
+			w &= mask[wi]
+			base := wi * wordBits
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				out = append(out, Edge{From: i, To: base + b})
+				w &= w - 1
 			}
 		}
 	}
@@ -267,20 +301,23 @@ func (c *Conn) WithinEdges(idx []int) []Edge {
 // returns the number removed. This is the ISC step that peels a mapped
 // cluster out of the remaining network.
 func (c *Conn) RemoveWithin(idx []int) int {
-	member := make(map[int]bool, len(idx))
-	for _, v := range idx {
-		member[v] = true
+	if len(idx) == 0 {
+		return 0
 	}
+	mask := c.memberMask(idx)
 	removed := 0
-	var buf []int
 	for _, i := range idx {
-		buf = c.RowNeighbors(i, buf[:0])
-		for _, j := range buf {
-			if member[j] {
-				c.Clear(i, j)
-				removed++
+		row := c.bits[i*c.words : (i+1)*c.words]
+		for wi := range row {
+			if hit := row[wi] & mask[wi]; hit != 0 {
+				row[wi] &^= hit
+				removed += bits.OnesCount64(hit)
 			}
 		}
+	}
+	if removed > 0 {
+		c.count -= removed
+		c.version++
 	}
 	return removed
 }

@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CSR is a compressed-sparse-row adjacency snapshot of a Conn: one row per
+// neuron, each row the ascending column indices of its neighbors. It is the
+// sparse-first view the spectral pipeline iterates — built once in O(E),
+// then read allocation-free (Row returns a subslice of the shared column
+// array). A CSR is immutable after construction; mutate the Conn and
+// rebuild instead.
+type CSR struct {
+	n      int
+	rowPtr []int32
+	col    []int32
+	// lapDeg[i] is the Laplacian degree of neuron i: the number of
+	// neighbors excluding a self-loop. Cached at build time because every
+	// spectral embedding needs it.
+	lapDeg []float64
+}
+
+// N returns the number of neurons (rows).
+func (s *CSR) N() int { return s.n }
+
+// NNZ returns the number of stored adjacency entries.
+func (s *CSR) NNZ() int { return len(s.col) }
+
+// Row returns the ascending neighbor indices of neuron i as a subslice of
+// the shared column array. The caller must not modify or retain it past the
+// CSR's lifetime. It performs no allocation.
+func (s *CSR) Row(i int) []int32 {
+	return s.col[s.rowPtr[i]:s.rowPtr[i+1]]
+}
+
+// LaplacianDegrees returns the cached Laplacian degree diagonal d_i
+// (neighbors excluding self-loops). The slice is shared with the CSR and
+// must not be modified.
+func (s *CSR) LaplacianDegrees() []float64 { return s.lapDeg }
+
+// Arrays exposes the raw CSR index arrays (row i's neighbors are
+// col[rowPtr[i]:rowPtr[i+1]]) for kernels that iterate the structure inline,
+// such as the matrix package's CSR Laplacian operator. Both slices are
+// shared with the CSR and must not be modified.
+func (s *CSR) Arrays() (rowPtr, col []int32) { return s.rowPtr, s.col }
+
+// NewCSR builds the CSR view of c's rows (out-neighbors) in O(E).
+func NewCSR(c *Conn) *CSR {
+	s := &CSR{n: c.n, rowPtr: make([]int32, c.n+1)}
+	s.col = make([]int32, 0, c.count)
+	s.lapDeg = make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s.col = appendRowBits(s.col, c, i)
+		s.rowPtr[i+1] = int32(len(s.col))
+		deg := int(s.rowPtr[i+1] - s.rowPtr[i])
+		if c.Has(i, i) {
+			deg--
+		}
+		s.lapDeg[i] = float64(deg)
+	}
+	return s
+}
+
+// appendRowBits appends the set column indices of row i to dst (ascending).
+func appendRowBits(dst []int32, c *Conn, i int) []int32 {
+	row := c.bits[i*c.words : (i+1)*c.words]
+	for wi, w := range row {
+		base := int32(wi * wordBits)
+		for w != 0 {
+			b := int32(bits.TrailingZeros64(w))
+			dst = append(dst, base+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// newSymmetrizedCSR builds the CSR of W ∨ Wᵀ directly from c in O(E + n),
+// without materializing a second bitset matrix: the row CSR and its
+// transpose are built by counting sort, then each output row is the sorted
+// union of the two.
+func newSymmetrizedCSR(c *Conn) *CSR {
+	n := c.n
+	// Row CSR of W.
+	fwd := NewCSR(c)
+	// Transpose: counting pass, then a fill that visits source rows in
+	// ascending order so every transpose row comes out ascending.
+	tPtr := make([]int32, n+1)
+	for _, j := range fwd.col {
+		tPtr[j+1]++
+	}
+	for i := 0; i < n; i++ {
+		tPtr[i+1] += tPtr[i]
+	}
+	tCol := make([]int32, len(fwd.col))
+	fill := make([]int32, n)
+	for i := 0; i < n; i++ {
+		for _, j := range fwd.Row(i) {
+			tCol[tPtr[j]+fill[j]] = int32(i)
+			fill[j]++
+		}
+	}
+	// Merge each row with its transpose row (both ascending, dedup).
+	s := &CSR{n: n, rowPtr: make([]int32, n+1), lapDeg: make([]float64, n)}
+	s.col = make([]int32, 0, 2*len(fwd.col))
+	for i := 0; i < n; i++ {
+		a := fwd.Row(i)
+		b := tCol[tPtr[i]:tPtr[i+1]]
+		deg := 0
+		for len(a) > 0 || len(b) > 0 {
+			var v int32
+			switch {
+			case len(b) == 0 || (len(a) > 0 && a[0] < b[0]):
+				v, a = a[0], a[1:]
+			case len(a) == 0 || b[0] < a[0]:
+				v, b = b[0], b[1:]
+			default: // equal
+				v, a, b = a[0], a[1:], b[1:]
+			}
+			s.col = append(s.col, v)
+			if int(v) != i {
+				deg++
+			}
+		}
+		s.rowPtr[i+1] = int32(len(s.col))
+		s.lapDeg[i] = float64(deg)
+	}
+	return s
+}
+
+// RestrictTo builds the induced sub-adjacency over the active neuron subset,
+// relabeled to local indices [0, len(active)), with self-loops dropped (they
+// do not contribute to the Laplacian). g2l must map every global index to
+// its local index, with -1 marking inactive neurons; every neighbor of an
+// active neuron must itself be active (true for any positive-degree subset
+// of a symmetric graph). dst's storage is reused when large enough, so a
+// caller restricting repeatedly (the ISC loop) allocates only on growth.
+// The restriction is O(E_active), never a dense copy.
+func (s *CSR) RestrictTo(active []int, g2l []int32, dst *CSR) *CSR {
+	na := len(active)
+	if cap(dst.rowPtr) < na+1 {
+		dst.rowPtr = make([]int32, na+1)
+	}
+	dst.rowPtr = dst.rowPtr[:na+1]
+	dst.col = dst.col[:0]
+	dst.lapDeg = dst.lapDeg[:0]
+	dst.n = na
+	dst.rowPtr[0] = 0
+	for a, i := range active {
+		for _, j := range s.Row(i) {
+			if int(j) == i {
+				continue
+			}
+			b := g2l[j]
+			if b < 0 {
+				panic(fmt.Sprintf("graph: RestrictTo neighbor %d of active %d is inactive", j, i))
+			}
+			dst.col = append(dst.col, b)
+		}
+		dst.rowPtr[a+1] = int32(len(dst.col))
+		dst.lapDeg = append(dst.lapDeg, float64(dst.rowPtr[a+1]-dst.rowPtr[a]))
+	}
+	return dst
+}

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// csrNeighbors collects row i of s as ints for comparison.
+func csrNeighbors(s *CSR, i int) []int {
+	var out []int
+	for _, j := range s.Row(i) {
+		out = append(out, int(j))
+	}
+	return out
+}
+
+func TestNewCSRMatchesConn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := RandomSparse(80, 0.9, rng)
+	s := NewCSR(c)
+	if s.N() != c.N() {
+		t.Fatalf("N = %d, want %d", s.N(), c.N())
+	}
+	if s.NNZ() != c.NNZ() {
+		t.Fatalf("NNZ = %d, want %d", s.NNZ(), c.NNZ())
+	}
+	for i := 0; i < c.N(); i++ {
+		want := c.RowNeighbors(i, nil)
+		got := csrNeighbors(s, i)
+		if len(got) != len(want) {
+			t.Fatalf("row %d: %v want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("row %d: %v want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestSymmetrizedCSRMatchesSymmetrized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := RandomSparse(60, 0.85, rng)
+	c.Set(3, 3) // self-loop: must appear in rows but not in Laplacian degrees
+	sym := c.Symmetrized()
+	s := c.SymmetrizedCSR()
+	for i := 0; i < c.N(); i++ {
+		want := sym.RowNeighbors(i, nil)
+		got := csrNeighbors(s, i)
+		if len(got) != len(want) {
+			t.Fatalf("row %d: %v want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("row %d: %v want %v", i, got, want)
+			}
+		}
+		deg := sym.OutDegree(i)
+		if sym.Has(i, i) {
+			deg--
+		}
+		if s.LaplacianDegrees()[i] != float64(deg) {
+			t.Fatalf("lapDeg[%d] = %g, want %d", i, s.LaplacianDegrees()[i], deg)
+		}
+	}
+}
+
+func TestSymmetrizedCSRCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := RandomSparse(40, 0.8, rng)
+	s1 := c.SymmetrizedCSR()
+	if s2 := c.SymmetrizedCSR(); s2 != s1 {
+		t.Fatal("unchanged Conn must return the cached CSR")
+	}
+	// Find a cleared-and-settable pair to force a mutation.
+	c.Set(1, 2)
+	if s3 := c.SymmetrizedCSR(); s3 == s1 {
+		t.Fatal("mutation must invalidate the cached CSR")
+	}
+	if !hasNeighbor(c.SymmetrizedCSR(), 1, 2) {
+		t.Fatal("rebuilt CSR misses the new edge")
+	}
+	before := c.SymmetrizedCSR()
+	c.Set(1, 2) // no-op set: bit already present
+	if c.SymmetrizedCSR() != before {
+		t.Fatal("no-op Set must not invalidate the cache")
+	}
+	c.Clear(1, 2)
+	if !hasNeighbor(before, 1, 2) {
+		t.Fatal("old snapshot must be immutable")
+	}
+	if hasNeighbor(c.SymmetrizedCSR(), 1, 2) && !c.Has(2, 1) {
+		t.Fatal("cleared edge still present after rebuild")
+	}
+}
+
+func hasNeighbor(s *CSR, i, j int) bool {
+	for _, v := range s.Row(i) {
+		if int(v) == j {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRestrictTo(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	c := RandomSparse(50, 0.8, rng)
+	c.Set(4, 4)
+	s := c.SymmetrizedCSR()
+	lap := s.LaplacianDegrees()
+	g2l := make([]int32, c.N())
+	var active []int
+	for i := range g2l {
+		if lap[i] > 0 {
+			g2l[i] = int32(len(active))
+			active = append(active, i)
+		} else {
+			g2l[i] = -1
+		}
+	}
+	var dst CSR
+	local := s.RestrictTo(active, g2l, &dst)
+	if local.N() != len(active) {
+		t.Fatalf("local N = %d, want %d", local.N(), len(active))
+	}
+	for a, i := range active {
+		want := 0
+		for _, j := range s.Row(i) {
+			if int(j) == i {
+				continue // self-loops dropped
+			}
+			want++
+		}
+		got := csrNeighbors(local, a)
+		if len(got) != want {
+			t.Fatalf("local row %d: %d neighbors, want %d", a, len(got), want)
+		}
+		for k, b := range got {
+			if active[b] != int(s.Row(i)[indexSkippingSelf(s, i, k)]) {
+				t.Fatalf("local row %d neighbor %d maps to %d", a, k, active[b])
+			}
+		}
+		if local.LaplacianDegrees()[a] != float64(want) {
+			t.Fatalf("local lapDeg[%d] = %g, want %d", a, local.LaplacianDegrees()[a], want)
+		}
+	}
+	// Reuse: a second restriction must not grow the storage.
+	colCap, ptrCap := cap(dst.col), cap(dst.rowPtr)
+	s.RestrictTo(active, g2l, &dst)
+	if cap(dst.col) != colCap || cap(dst.rowPtr) != ptrCap {
+		t.Fatal("repeated RestrictTo reallocated storage")
+	}
+}
+
+// indexSkippingSelf returns the k-th non-self column position of row i.
+func indexSkippingSelf(s *CSR, i, k int) int {
+	row := s.Row(i)
+	seen := 0
+	for p, j := range row {
+		if int(j) == i {
+			continue
+		}
+		if seen == k {
+			return p
+		}
+		seen++
+	}
+	return -1
+}
+
+// TestCSRRowIterationAllocs pins the sparse-first contract: iterating every
+// row of a built CSR performs zero allocations.
+func TestCSRRowIterationAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := RandomSparse(200, 0.95, rng)
+	s := c.SymmetrizedCSR()
+	var sink int
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < s.N(); i++ {
+			for _, j := range s.Row(i) {
+				sink += int(j)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CSR row iteration allocated %.1f times per sweep, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestWithinKernelsMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := RandomSparse(70, 0.85, rng)
+	idx := []int{3, 9, 14, 15, 40, 41, 42, 69}
+	// Naive count/edges over the member set.
+	in := make(map[int]bool)
+	for _, v := range idx {
+		in[v] = true
+	}
+	wantCount := 0
+	type edge struct{ f, t int }
+	var wantEdges []edge
+	for _, i := range idx {
+		for _, j := range c.RowNeighbors(i, nil) {
+			if in[j] {
+				wantCount++
+				wantEdges = append(wantEdges, edge{i, j})
+			}
+		}
+	}
+	if got := c.CountWithin(idx); got != wantCount {
+		t.Fatalf("CountWithin = %d, want %d", got, wantCount)
+	}
+	gotEdges := c.WithinEdges(idx)
+	if len(gotEdges) != len(wantEdges) {
+		t.Fatalf("WithinEdges len = %d, want %d", len(gotEdges), len(wantEdges))
+	}
+	for k, e := range wantEdges {
+		if gotEdges[k].From != e.f || gotEdges[k].To != e.t {
+			t.Fatalf("edge %d = %v, want %v", k, gotEdges[k], e)
+		}
+	}
+	nnz := c.NNZ()
+	c.RemoveWithin(idx)
+	if c.NNZ() != nnz-wantCount {
+		t.Fatalf("NNZ after RemoveWithin = %d, want %d", c.NNZ(), nnz-wantCount)
+	}
+	if c.CountWithin(idx) != 0 {
+		t.Fatal("edges remain inside the member set after RemoveWithin")
+	}
+}

@@ -51,6 +51,46 @@ func (r *Result) Members() [][]int {
 // maxIterations bounds the Lloyd loop; convergence is typically far faster.
 const maxIterations = 200
 
+// Workspace holds the reusable per-run buffers of the Lloyd loop: the
+// assignment vector, per-cluster counts and member lists, and the k-means++
+// seeding distances. A zero Workspace is ready to use; buffers grow on
+// demand and persist between runs, so a caller clustering repeatedly (the
+// GCP split loop inside every ISC iteration) stops paying the per-run
+// allocations. Reuse never changes results: every buffer is fully
+// (re)initialized before it is read.
+//
+// A workspace must not be shared by concurrent runs, and the Assign slice
+// of a Result produced with a workspace is only valid until the workspace's
+// next run (call Members or copy it first). Centroids are always freshly
+// allocated and stay valid.
+type Workspace struct {
+	assign  []int
+	counts  []int
+	members [][]int
+	d2      []float64
+	sub     [][]float64
+}
+
+func (ws *Workspace) forN(n int) []int {
+	if cap(ws.assign) < n {
+		ws.assign = make([]int, n)
+	}
+	ws.assign = ws.assign[:n]
+	return ws.assign
+}
+
+func (ws *Workspace) forK(k int) ([]int, [][]int) {
+	if cap(ws.counts) < k {
+		ws.counts = make([]int, k)
+	}
+	ws.counts = ws.counts[:k]
+	for cap(ws.members) < k {
+		ws.members = append(ws.members[:cap(ws.members)], nil)
+	}
+	ws.members = ws.members[:k]
+	return ws.counts, ws.members
+}
+
 // Run clusters the points into k clusters using Lloyd's algorithm with
 // k-means++ seeding from rng. It panics on invalid input (k <= 0, k > n,
 // ragged points). Empty clusters are repaired by reseeding at the point
@@ -63,6 +103,11 @@ func Run(points [][]float64, k int, rng *rand.Rand) *Result {
 // RunN is Run on a bounded worker pool (0 = the parallel package default).
 // The result is bit-identical to Run for every worker count.
 func RunN(points [][]float64, k int, rng *rand.Rand, workers int) *Result {
+	return RunWS(nil, points, k, rng, workers)
+}
+
+// RunWS is RunN drawing all per-run buffers from ws (nil = allocate fresh).
+func RunWS(ws *Workspace, points [][]float64, k int, rng *rand.Rand, workers int) *Result {
 	n := len(points)
 	if k <= 0 {
 		panic(fmt.Sprintf("kmeans: k = %d must be positive", k))
@@ -76,8 +121,11 @@ func RunN(points [][]float64, k int, rng *rand.Rand, workers int) *Result {
 			panic(fmt.Sprintf("kmeans: point %d has dim %d, want %d", i, len(p), dim))
 		}
 	}
-	centroids := seedPlusPlus(points, k, rng)
-	return lloyd(points, centroids, rng, workers)
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	centroids := seedPlusPlus(ws, points, k, rng)
+	return lloyd(ws, points, centroids, rng, workers)
 }
 
 // RunWithCentroids clusters points starting from the provided centroids
@@ -89,6 +137,12 @@ func RunWithCentroids(points [][]float64, centroids [][]float64, rng *rand.Rand)
 
 // RunWithCentroidsN is RunWithCentroids on a bounded worker pool.
 func RunWithCentroidsN(points [][]float64, centroids [][]float64, rng *rand.Rand, workers int) *Result {
+	return RunWithCentroidsWS(nil, points, centroids, rng, workers)
+}
+
+// RunWithCentroidsWS is RunWithCentroidsN drawing per-run buffers from ws
+// (nil = allocate fresh).
+func RunWithCentroidsWS(ws *Workspace, points [][]float64, centroids [][]float64, rng *rand.Rand, workers int) *Result {
 	if len(centroids) == 0 {
 		panic("kmeans: no centroids")
 	}
@@ -103,38 +157,49 @@ func RunWithCentroidsN(points [][]float64, centroids [][]float64, rng *rand.Rand
 		}
 		init[i] = append([]float64(nil), c...)
 	}
-	return lloyd(points, init, rng, workers)
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	return lloyd(ws, points, init, rng, workers)
+}
+
+// assignPoints is the Lloyd assignment pass: each point moves to its
+// nearest centroid, per-point independent (and therefore worker-count
+// independent). It reports whether any assignment changed. The kernel is
+// allocation-free for workers=1.
+func assignPoints(workers int, points, centroids [][]float64, assign []int) bool {
+	var changed atomic.Bool
+	parallel.For(workers, len(points), func(i int) {
+		p := points[i]
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range centroids {
+			if d := sqDist(p, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed.Store(true)
+		}
+	})
+	return changed.Load()
 }
 
 // lloyd iterates assignment and centroid updates until assignments stop
 // changing or maxIterations is hit. It repairs empty clusters. The two
 // per-point kernels run on the worker pool; both are bit-identical to the
-// serial loop for any worker count (see the package comment).
-func lloyd(points, centroids [][]float64, rng *rand.Rand, workers int) *Result {
+// serial loop for any worker count (see the package comment). Per-run
+// buffers come from ws.
+func lloyd(ws *Workspace, points, centroids [][]float64, rng *rand.Rand, workers int) *Result {
 	n, k := len(points), len(centroids)
-	assign := make([]int, n)
+	assign := ws.forN(n)
 	for i := range assign {
 		assign[i] = -1
 	}
-	counts := make([]int, k)
-	members := make([][]int, k)
+	counts, members := ws.forK(k)
 	iter := 0
 	for ; iter < maxIterations; iter++ {
-		var changed atomic.Bool
-		parallel.For(workers, n, func(i int) {
-			p := points[i]
-			best, bestD := 0, math.Inf(1)
-			for c, cent := range centroids {
-				if d := sqDist(p, cent); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed.Store(true)
-			}
-		})
-		if !changed.Load() && iter > 0 {
+		if !assignPoints(workers, points, centroids, assign) && iter > 0 {
 			break
 		}
 		// Update centroids: member lists are gathered serially in ascending
@@ -200,13 +265,17 @@ func farthestPoint(points, centroids [][]float64, assign []int, rng *rand.Rand) 
 	return best
 }
 
-// seedPlusPlus chooses k initial centroids by the k-means++ scheme.
-func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+// seedPlusPlus chooses k initial centroids by the k-means++ scheme, using
+// ws for the squared-distance scratch. Centroids are freshly allocated.
+func seedPlusPlus(ws *Workspace, points [][]float64, k int, rng *rand.Rand) [][]float64 {
 	n := len(points)
 	centroids := make([][]float64, 0, k)
 	first := rng.Intn(n)
 	centroids = append(centroids, append([]float64(nil), points[first]...))
-	d2 := make([]float64, n)
+	if cap(ws.d2) < n {
+		ws.d2 = make([]float64, n)
+	}
+	d2 := ws.d2[:n]
 	for i, p := range points {
 		d2[i] = sqDist(p, centroids[0])
 	}
@@ -252,14 +321,26 @@ func Split(points [][]float64, members []int, rng *rand.Rand) (a, b []int, ca, c
 
 // SplitN is Split on a bounded worker pool.
 func SplitN(points [][]float64, members []int, rng *rand.Rand, workers int) (a, b []int, ca, cb []float64) {
+	return SplitWS(nil, points, members, rng, workers)
+}
+
+// SplitWS is SplitN drawing per-run buffers from ws (nil = allocate fresh).
+// The returned member lists and centroids are freshly allocated.
+func SplitWS(ws *Workspace, points [][]float64, members []int, rng *rand.Rand, workers int) (a, b []int, ca, cb []float64) {
 	if len(members) < 2 {
 		panic(fmt.Sprintf("kmeans: cannot split cluster of size %d", len(members)))
 	}
-	sub := make([][]float64, len(members))
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	if cap(ws.sub) < len(members) {
+		ws.sub = make([][]float64, len(members))
+	}
+	sub := ws.sub[:len(members)]
 	for i, m := range members {
 		sub[i] = points[m]
 	}
-	res := RunN(sub, 2, rng, workers)
+	res := RunWS(ws, sub, 2, rng, workers)
 	for i, c := range res.Assign {
 		if c == 0 {
 			a = append(a, members[i])

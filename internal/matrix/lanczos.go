@@ -12,6 +12,48 @@ import (
 // dst and src never alias.
 type MulVecFunc func(dst, src []float64)
 
+// LanczosWS holds the reusable storage of a Lanczos solve: the Krylov basis
+// (the dominant allocation, steps×n floats), the iteration vectors, the
+// reorthogonalization projection scratch, and the tridiagonal eigenvector
+// matrix. A zero LanczosWS is ready to use; buffers grow on demand and are
+// retained between solves, so a caller running many solves of similar size
+// (the ISC loop re-embedding the remaining network every iteration) pays the
+// large allocations once instead of per iteration.
+//
+// A workspace must not be shared by concurrent solves. Reuse never changes
+// results: every buffer is fully overwritten before it is read.
+type LanczosWS struct {
+	basisBuf []float64
+	basis    [][]float64
+	v, w     []float64
+	alpha    []float64
+	beta     []float64
+	proj     []float64
+	zBuf     []float64
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// prepare sizes the workspace for a solve of the given step bound and
+// dimension and returns the basis row headers (length 0, capacity steps).
+func (ws *LanczosWS) prepare(steps, n int) {
+	ws.basisBuf = growFloats(ws.basisBuf, steps*n)
+	if cap(ws.basis) < steps {
+		ws.basis = make([][]float64, 0, steps)
+	}
+	ws.basis = ws.basis[:0]
+	ws.v = growFloats(ws.v, n)
+	ws.w = growFloats(ws.w, n)
+	ws.alpha = growFloats(ws.alpha, steps)[:0]
+	ws.beta = growFloats(ws.beta, steps)[:0]
+	ws.proj = growFloats(ws.proj, steps)
+}
+
 // LanczosSmallest computes approximations to the k smallest eigenpairs of
 // a symmetric n×n operator given only by matrix-vector products, using the
 // Lanczos iteration with full reorthogonalization and an eigensolve of the
@@ -31,13 +73,23 @@ func LanczosSmallest(mul MulVecFunc, n, k int, rng *rand.Rand) (values []float64
 
 // LanczosSmallestN is LanczosSmallest on a bounded worker pool (0 = package
 // default). The reorthogonalization fans its dot products out over basis
-// vectors and its update over vector elements, and the Ritz-vector assembly
-// parallelizes over rows; each kernel keeps a fixed floating-point
-// evaluation order, so the result is bit-identical for any worker count.
-// The rng is consumed only on the calling goroutine.
+// vectors and its update over fixed-size element chunks, and the Ritz-vector
+// assembly parallelizes over row chunks; each kernel keeps a floating-point
+// evaluation order fixed by the input alone, so the result is bit-identical
+// for any worker count. The rng is consumed only on the calling goroutine.
 func LanczosSmallestN(mul MulVecFunc, n, k int, rng *rand.Rand, workers int) (values []float64, vectors *Dense, err error) {
+	return LanczosSmallestWS(nil, mul, n, k, rng, workers)
+}
+
+// LanczosSmallestWS is LanczosSmallestN drawing all iteration storage from
+// ws (nil = allocate fresh). The returned values and vectors never alias the
+// workspace, so they survive its next use.
+func LanczosSmallestWS(ws *LanczosWS, mul MulVecFunc, n, k int, rng *rand.Rand, workers int) (values []float64, vectors *Dense, err error) {
 	if k <= 0 || k > n {
 		panic(fmt.Sprintf("matrix: LanczosSmallest k=%d out of (0,%d]", k, n))
+	}
+	if ws == nil {
+		ws = &LanczosWS{}
 	}
 	steps := 10 * k
 	if m := 4*k + 40; m > steps {
@@ -47,19 +99,22 @@ func LanczosSmallestN(mul MulVecFunc, n, k int, rng *rand.Rand, workers int) (va
 		steps = n
 	}
 	// Lanczos basis (full reorthogonalization keeps it numerically
-	// orthonormal; memory is steps×n, fine at the sizes we target).
-	basis := make([][]float64, 0, steps)
-	alpha := make([]float64, 0, steps)
-	beta := make([]float64, 0, steps) // beta[i] couples basis[i] and basis[i+1]
+	// orthonormal; memory is steps×n, reused across solves via ws).
+	ws.prepare(steps, n)
+	basis := ws.basis
+	alpha := ws.alpha
+	beta := ws.beta // beta[i] couples basis[i] and basis[i+1]
 
-	v := make([]float64, n)
+	v := ws.v
 	for i := range v {
 		v[i] = rng.NormFloat64()
 	}
 	normalize(v)
-	w := make([]float64, n)
+	w := ws.w
 	for j := 0; j < steps; j++ {
-		basis = append(basis, append([]float64(nil), v...))
+		row := ws.basisBuf[j*n : (j+1)*n]
+		copy(row, v)
+		basis = append(basis, row)
 		mul(w, v)
 		a := dotVec(w, v)
 		alpha = append(alpha, a)
@@ -76,7 +131,7 @@ func LanczosSmallestN(mul MulVecFunc, n, k int, rng *rand.Rand, workers int) (va
 		}
 		// Full reorthogonalization (two classical Gram-Schmidt passes —
 		// "twice is enough").
-		orthogonalize(w, basis, workers)
+		orthogonalize(w, basis, ws.proj, workers)
 		b := math.Sqrt(dotVec(w, w))
 		if j == steps-1 {
 			break
@@ -89,7 +144,7 @@ func LanczosSmallestN(mul MulVecFunc, n, k int, rng *rand.Rand, workers int) (va
 			for i := range w {
 				w[i] = rng.NormFloat64()
 			}
-			orthogonalize(w, basis, workers)
+			orthogonalize(w, basis, ws.proj, workers)
 			nb := math.Sqrt(dotVec(w, w))
 			if nb < 1e-13 {
 				// The basis spans the whole reachable space.
@@ -110,52 +165,84 @@ func LanczosSmallestN(mul MulVecFunc, n, k int, rng *rand.Rand, workers int) (va
 	if k > m {
 		k = m
 	}
-	// Eigensolve the m×m tridiagonal projection.
+	// Eigensolve the m×m tridiagonal projection. d and e are per-call: d's
+	// head is returned as the eigenvalues and must outlive the workspace.
 	d := append([]float64(nil), alpha[:m]...)
 	e := make([]float64, m)
 	copy(e[1:], beta[:m-1])
-	z := Identity(m)
+	ws.zBuf = growFloats(ws.zBuf, m*m)
+	z := &Dense{rows: m, cols: m, data: ws.zBuf}
+	for i := range z.data {
+		z.data[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		z.data[i*m+i] = 1
+	}
 	if err := tql2(z, d, e); err != nil {
 		return nil, nil, fmt.Errorf("matrix: Lanczos projection eigensolve: %w", err)
 	}
 	sortEig(d, z)
-	// Assemble the k smallest Ritz pairs (row-parallel; each row's sum
-	// runs in fixed j order, so the result is worker-count independent).
+	// Assemble the k smallest Ritz pairs. The accumulation into each output
+	// element runs in ascending basis order j — the same order the naive
+	// per-row triple loop uses — but iterates j outer over fixed row chunks
+	// so basis rows and z rows stream contiguously instead of stride-n.
+	// Chunk boundaries depend only on n, so the result is worker-count
+	// independent.
 	values = d[:k]
 	vectors = NewDense(n, k)
 	kk := k
-	parallel.For(workers, n, func(row int) {
-		for col := 0; col < kk; col++ {
-			s := 0.0
-			for j := 0; j < m; j++ {
-				s += basis[j][row] * z.At(j, col)
+	parallel.ForChunks(workers, n, ritzChunk, func(_, lo, hi int) {
+		for j := 0; j < m; j++ {
+			bj := basis[j]
+			zrow := z.data[j*m : j*m+kk]
+			for row := lo; row < hi; row++ {
+				b := bj[row]
+				vrow := vectors.data[row*kk : (row+1)*kk]
+				for col, zv := range zrow {
+					vrow[col] += b * zv
+				}
 			}
-			vectors.Set(row, col, s)
 		}
 	})
 	return values, vectors, nil
 }
 
+// orthoChunk and ritzChunk are the fixed element-chunk sizes of the blocked
+// kernels: small enough that a chunk of the target vector stays cache-
+// resident while every basis row streams past it, large enough to amortize
+// scheduling. Being constants, they keep chunk boundaries — and therefore
+// floating-point evaluation order — independent of the worker count.
+const (
+	orthoChunk = 512
+	ritzChunk  = 64
+)
+
 // orthogonalize removes from w its components along the (orthonormal) basis
-// vectors with two classical Gram-Schmidt passes. Within a pass, the dot
-// products against distinct basis vectors fan out across the pool (each dot
-// is a fixed-order serial sum), then the fused update subtracts the
-// projections element-parallel with the basis loop in fixed order — both
-// kernels are bit-identical for any worker count.
-func orthogonalize(w []float64, basis [][]float64, workers int) {
+// vectors with two classical Gram-Schmidt passes, using proj (capacity ≥
+// len(basis)) as the projection scratch. Within a pass, the dot products
+// against distinct basis vectors fan out across the pool (each dot is a
+// fixed-order serial sum), then the update sweeps the basis in ascending
+// order over fixed-size element chunks — basis rows stream contiguously
+// (the stride-n per-element loop this replaces missed cache on every basis
+// row) and chunk boundaries never depend on the worker count, so the result
+// is bit-identical for any pool size.
+func orthogonalize(w []float64, basis [][]float64, proj []float64, workers int) {
 	m := len(basis)
 	if m == 0 {
 		return
 	}
-	d := make([]float64, m)
+	d := proj[:m]
 	for pass := 0; pass < 2; pass++ {
 		parallel.For(workers, m, func(j int) { d[j] = dotVec(w, basis[j]) })
-		parallel.For(workers, len(w), func(i int) {
-			s := 0.0
+		parallel.ForChunks(workers, len(w), orthoChunk, func(_, lo, hi int) {
 			for j := 0; j < m; j++ {
-				s += d[j] * basis[j][i]
+				dj := d[j]
+				bj := basis[j][lo:hi]
+				wc := w[lo:hi]
+				for i := range wc {
+					wc[i] -= dj * bj[i]
+				}
 			}
-			w[i] -= s
 		})
 	}
 }
@@ -175,7 +262,8 @@ func NormalizedLaplacianOp(n int, deg []float64, forEach func(i int, fn func(j i
 // over rows on a bounded worker pool (0 = package default). Each dst[i] is
 // an independent fixed-order accumulation, so the product is bit-identical
 // for any worker count. forEach may be called concurrently for distinct
-// rows and must therefore be re-entrant (read-only on shared state).
+// rows and must therefore be re-entrant (read-only on shared state) and
+// allocation-free if the matvec is to stay allocation-free.
 func NormalizedLaplacianOpN(n int, deg []float64, forEach func(i int, fn func(j int, w float64)), workers int) (MulVecFunc, error) {
 	if len(deg) != n {
 		return nil, fmt.Errorf("matrix: %d degrees for n=%d", len(deg), n)
@@ -193,6 +281,39 @@ func NormalizedLaplacianOpN(n int, deg []float64, forEach func(i int, fn func(j 
 			forEach(i, func(j int, w float64) {
 				acc += w * invSqrt[j] * src[j]
 			})
+			dst[i] = src[i] - invSqrt[i]*acc
+		})
+	}, nil
+}
+
+// NormalizedLaplacianCSRN is the CSR specialization of
+// NormalizedLaplacianOpN for unit-weight adjacency: row i's neighbors are
+// col[rowPtr[i]:rowPtr[i+1]]. Walking the index slices inline — instead of
+// calling back through a neighbor iterator — keeps each row's accumulation
+// free of the per-row closure the generic form costs, so a product performs
+// no allocation beyond the bounded worker-dispatch residue. Accumulation
+// order (ascending neighbors) and arithmetic match the generic operator
+// exactly, so results are bit-identical to it.
+func NormalizedLaplacianCSRN(n int, deg []float64, rowPtr, col []int32, workers int) (MulVecFunc, error) {
+	if len(deg) != n {
+		return nil, fmt.Errorf("matrix: %d degrees for n=%d", len(deg), n)
+	}
+	if len(rowPtr) != n+1 {
+		return nil, fmt.Errorf("matrix: %d row pointers for n=%d", len(rowPtr), n)
+	}
+	invSqrt := make([]float64, n)
+	for i, d := range deg {
+		if d <= 0 {
+			return nil, fmt.Errorf("matrix: non-positive degree %g at %d", d, i)
+		}
+		invSqrt[i] = 1 / math.Sqrt(d)
+	}
+	return func(dst, src []float64) {
+		parallel.For(workers, n, func(i int) {
+			acc := 0.0
+			for _, j := range col[rowPtr[i]:rowPtr[i+1]] {
+				acc += invSqrt[j] * src[j]
+			}
 			dst[i] = src[i] - invSqrt[i]*acc
 		})
 	}, nil

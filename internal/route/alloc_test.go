@@ -1,0 +1,66 @@
+package route
+
+import (
+	"testing"
+)
+
+func testGrid(cols, rows int) *grid {
+	return &grid{
+		cols: cols, rows: rows, theta: 2,
+		hUsage: make([]int, cols*rows),
+		vUsage: make([]int, cols*rows),
+	}
+}
+
+// TestMazeSearchAllocs pins the warm maze-search contract: once a
+// searchState has grown to the grid size, a full corner-to-corner A* search
+// allocates only the returned path. The previous implementation allocated
+// two O(bins) arrays plus a boxed heap entry per push, per search.
+func TestMazeSearchAllocs(t *testing.T) {
+	g := testGrid(40, 40)
+	// Mild congestion so the search explores beyond one monotone staircase.
+	for i := range g.hUsage {
+		if i%5 == 0 {
+			g.hUsage[i] = 3
+		}
+	}
+	st := new(searchState)
+	s, d := 0, g.cols*g.rows-1
+	if p := g.dijkstra(st, s, d, 8, 0.3); p == nil {
+		t.Fatal("warm-up search found no path")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if p := g.dijkstra(st, s, d, 8, 0.3); p == nil {
+			t.Fatal("search found no path")
+		}
+	})
+	// One allocation for the exact-size path; nothing else.
+	if allocs > 1 {
+		t.Fatalf("warm maze search allocated %.1f times, want ≤ 1", allocs)
+	}
+}
+
+// TestSearchStateReuseMatchesFresh pins pool transparency: a search on a
+// reused (dirty) state returns the same path as a search on a fresh one.
+func TestSearchStateReuseMatchesFresh(t *testing.T) {
+	g := testGrid(30, 25)
+	for i := range g.vUsage {
+		if i%7 == 2 {
+			g.vUsage[i] = 5
+		}
+	}
+	dirty := new(searchState)
+	g.dijkstra(dirty, 3, 600, 8, 0.3) // dirty the stamps with another search
+	for _, pair := range [][2]int{{0, 749}, {29, 720}, {370, 12}} {
+		want := g.dijkstra(new(searchState), pair[0], pair[1], 8, 0.3)
+		got := g.dijkstra(dirty, pair[0], pair[1], 8, 0.3)
+		if len(want) != len(got) {
+			t.Fatalf("%v: path len %d vs %d", pair, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%v: path[%d] = %d vs %d", pair, i, got[i], want[i])
+			}
+		}
+	}
+}

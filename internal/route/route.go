@@ -15,10 +15,10 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/netlist"
 	"repro/internal/parallel"
@@ -162,22 +162,97 @@ func (g *grid) binOf(x, y float64) (int, int) {
 // pqItem is a priority-queue entry for the A* search: cost is the f-value
 // (g + heuristic) used for ordering, g the actual path cost so far.
 type pqItem struct {
-	node int
+	node int32
 	cost float64
 	g    float64
 }
 
-type pq []pqItem
+// searchState is the reusable scratch of one maze search: g-costs,
+// predecessors, and a typed binary heap. A search validates its per-node
+// entries with an epoch stamp, so starting a new search is O(1) — no
+// O(bins) reinitialization, and the arrays allocate only when the grid
+// grows. The heap replicates container/heap's sift algorithms exactly
+// (same comparisons, same swaps), so search results are identical to the
+// boxed implementation it replaces while pushes stop allocating.
+type searchState struct {
+	dist  []float64
+	prev  []int32
+	stamp []uint32
+	epoch uint32
+	heap  []pqItem
+}
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
+// begin readies the state for a search over n bins.
+func (st *searchState) begin(n int) {
+	if len(st.stamp) < n {
+		st.dist = make([]float64, n)
+		st.prev = make([]int32, n)
+		st.stamp = make([]uint32, n)
+		st.epoch = 0
+	}
+	st.epoch++
+	if st.epoch == 0 { // wrapped: stale stamps could collide, clear them
+		for i := range st.stamp {
+			st.stamp[i] = 0
+		}
+		st.epoch = 1
+	}
+	st.heap = st.heap[:0]
+}
+
+// distAt returns node's g-cost this search, +Inf if untouched.
+func (st *searchState) distAt(node int32) float64 {
+	if st.stamp[node] != st.epoch {
+		return math.Inf(1)
+	}
+	return st.dist[node]
+}
+
+// relax records a cheaper route to node.
+func (st *searchState) relax(node, from int32, g float64) {
+	st.stamp[node] = st.epoch
+	st.dist[node] = g
+	st.prev[node] = from
+}
+
+// push and pop maintain the min-heap on cost with the exact sift moves of
+// container/heap (append + up; swap-to-end + down + shrink).
+func (st *searchState) push(it pqItem) {
+	st.heap = append(st.heap, it)
+	h := st.heap
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].cost < h[i].cost) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (st *searchState) pop() pqItem {
+	h := st.heap
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].cost < h[j1].cost {
+			j = j2
+		}
+		if !(h[j].cost < h[i].cost) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	it := h[n]
+	st.heap = h[:n]
 	return it
 }
 
@@ -185,42 +260,36 @@ func (q *pq) Pop() interface{} {
 // usage and capacity, using A* with the Manhattan-distance lower bound
 // (admissible because congestion only ever adds to an edge's base cost).
 // It returns the bin sequence or nil if t is unreachable (all paths
-// blocked by full edges).
-func (g *grid) dijkstra(s, t int, capacity int, penalty float64) []int {
-	n := g.cols * g.rows
-	dist := make([]float64, n)
-	prev := make([]int, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prev[i] = -1
-	}
+// blocked by full edges). st supplies all scratch; the returned path is
+// freshly allocated at its exact length.
+func (g *grid) dijkstra(st *searchState, s, t int, capacity int, penalty float64) []int {
+	st.begin(g.cols * g.rows)
 	tc, tr := t%g.cols, t/g.cols
-	lowerBound := func(node int) float64 {
-		c, r := node%g.cols, node/g.cols
+	lowerBound := func(node int32) float64 {
+		c, r := int(node)%g.cols, int(node)/g.cols
 		return g.theta * float64(absInt(c-tc)+absInt(r-tr))
 	}
-	dist[s] = 0
-	q := &pq{{node: s, cost: lowerBound(s), g: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		if it.node == t {
+	st.relax(int32(s), -1, 0)
+	st.push(pqItem{node: int32(s), cost: lowerBound(int32(s)), g: 0})
+	for len(st.heap) > 0 {
+		it := st.pop()
+		if int(it.node) == t {
 			break
 		}
-		if it.g > dist[it.node] {
+		if it.g > st.dist[it.node] {
 			continue
 		}
-		c, r := it.node%g.cols, it.node/g.cols
+		c, r := int(it.node)%g.cols, int(it.node)/g.cols
 		try := func(nc, nr int, usage []int, edgeIdx int) {
 			u := usage[edgeIdx]
 			if u >= capacity {
 				return
 			}
-			nn := nr*g.cols + nc
+			nn := int32(nr*g.cols + nc)
 			cost := it.g + g.theta*(1+penalty*float64(u))
-			if cost < dist[nn] {
-				dist[nn] = cost
-				prev[nn] = it.node
-				heap.Push(q, pqItem{node: nn, cost: cost + lowerBound(nn), g: cost})
+			if cost < st.distAt(nn) {
+				st.relax(nn, it.node, cost)
+				st.push(pqItem{node: nn, cost: cost + lowerBound(nn), g: cost})
 			}
 		}
 		if c+1 < g.cols {
@@ -236,16 +305,17 @@ func (g *grid) dijkstra(s, t int, capacity int, penalty float64) []int {
 			try(c, r-1, g.vUsage, (r-1)*g.cols+c)
 		}
 	}
-	if math.IsInf(dist[t], 1) {
+	if math.IsInf(st.distAt(int32(t)), 1) {
 		return nil
 	}
-	var path []int
-	for v := t; v != -1; v = prev[v] {
-		path = append(path, v)
+	// Measure the path, then fill it back-to-front at its exact size.
+	steps := 0
+	for v := int32(t); v != -1; v = st.prev[v] {
+		steps++
 	}
-	// Reverse to s→t order.
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
+	path := make([]int, steps)
+	for v, i := int32(t), steps-1; v != -1; v, i = st.prev[v], i-1 {
+		path[i] = int(v)
 	}
 	return path
 }
@@ -351,6 +421,7 @@ func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error)
 		tc, tr := g.binOf(pl.X[w.To], pl.Y[w.To])
 		src[i], dst[i] = sr*g.cols+sc, tr*g.cols+tc
 	}
+	states := sync.Pool{New: func() interface{} { return new(searchState) }}
 	pending := order
 	for len(pending) > 0 {
 		var failed []int // no path under the current capacity: relaxation candidates
@@ -365,12 +436,18 @@ func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error)
 			// Speculative maze searches, all against the usage snapshot at
 			// batch start. dijkstra only reads the usage maps, so the
 			// searches fan out across the pool; the batch decomposition is
-			// fixed by the wire order, never by the worker count.
+			// fixed by the wire order, never by the worker count. Search
+			// scratch comes from the state pool — which state a search gets
+			// never affects its result (begin() invalidates all prior
+			// entries), so pooling preserves the determinism contract.
 			spec := parallel.Map(workers, b, func(i int) []int {
 				if src[cur[i]] == dst[cur[i]] {
 					return nil // same-bin wires route directly at commit
 				}
-				return g.dijkstra(src[cur[i]], dst[cur[i]], capacity, opts.CongestionPenalty)
+				st := states.Get().(*searchState)
+				path := g.dijkstra(st, src[cur[i]], dst[cur[i]], capacity, opts.CongestionPenalty)
+				states.Put(st)
+				return path
 			})
 			// Commit in wire order. A path invalidated by a batch-mate's
 			// commit is re-queued ahead of the untried wires; the first

@@ -1,0 +1,5 @@
+//go:build !race
+
+package autoncs_test
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package autoncs_test
+
+// raceEnabled reports whether the race detector is compiled in; the golden
+// harness uses it to skip the minutes-long Lanczos-path compile (the race
+// coverage of the sparse kernels comes from the per-package worker tests,
+// which run the same code at smaller sizes).
+const raceEnabled = true
