@@ -20,14 +20,19 @@
 package autoncs
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
+	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/graph"
 	"repro/internal/hopfield"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/route"
 	"repro/internal/xbar"
@@ -69,7 +74,39 @@ type (
 	HopfieldNetwork = hopfield.Network
 	// Pattern is a ±1 binary pattern stored in a Hopfield network.
 	Pattern = hopfield.Pattern
+	// Observer receives the flow's typed stage events (see Config.Observer).
+	Observer = obs.Observer
+	// Event is one typed observation from the compile flow; switch on the
+	// obs package's concrete types to consume it.
+	Event = obs.Event
+	// Stage names one pipeline stage of the flow.
+	Stage = obs.Stage
+	// MetricsObserver is a ready-made thread-safe observer accumulating
+	// event counts and per-stage wall times; its zero value is usable.
+	MetricsObserver = obs.Metrics
 )
+
+// The pipeline stages, in execution order — the keys of Result.StageTimes.
+const (
+	StageClustering = obs.StageClustering
+	StageNetlist    = obs.StageNetlist
+	StagePlace      = obs.StagePlace
+	StageRoute      = obs.StageRoute
+	StageCost       = obs.StageCost
+)
+
+// Stages lists every pipeline stage in execution order, for deterministic
+// iteration over Result.StageTimes.
+func Stages() []Stage { return obs.Stages() }
+
+// NewSlogObserver returns an observer rendering every event through the
+// given structured logger: stage boundaries, ISC iterations, and capacity
+// relaxations at Info; per-checkpoint placement progress and route batches
+// at Debug.
+func NewSlogObserver(l *slog.Logger) Observer { return obs.NewSlog(l) }
+
+// MultiObserver fans events out to every non-nil observer in order.
+func MultiObserver(os ...Observer) Observer { return obs.Multi(os...) }
 
 // LoadNetwork reads a network from a file in the autoncs-net text format.
 func LoadNetwork(path string) (*Network, error) { return graph.Load(path) }
@@ -106,10 +143,19 @@ type Config struct {
 	Library Library
 	// Device is the substrate model used for netlist, delay, and cost.
 	Device DeviceModel
-	// UtilizationThreshold is ISC's stop threshold t. Zero means automatic:
-	// the average utilization of the FullCro baseline on the same network
-	// (Section 4.2: "the iteration of ISC stops when the average crossbar
-	// utilization is below that of the baseline design").
+	// UtilizationThreshold is ISC's stop threshold t:
+	//
+	//   - Zero (the zero-value default) means automatic: the average
+	//     utilization of the FullCro baseline on the same network
+	//     (Section 4.2: "the iteration of ISC stops when the average
+	//     crossbar utilization is below that of the baseline design").
+	//   - A value in (0, 1] is used as-is.
+	//   - Any negative value (use DisabledThreshold for readability)
+	//     requests an explicit threshold of zero, i.e. disables the
+	//     utilization stopping rule entirely — the setting that a literal
+	//     0 cannot express because 0 already means "auto". This mirrors
+	//     SelectionQuantile, where negative likewise means "disable".
+	//   - NaN and values above 1 are rejected by Compile.
 	UtilizationThreshold float64
 	// SelectionQuantile is the CP quantile of ISC's partial selection
 	// strategy; zero means the paper's 0.75 (top 25%). Negative disables
@@ -138,7 +184,20 @@ type Config struct {
 	// SkipPhysical stops after clustering: Netlist, Placement, Routing and
 	// Report stay nil. Useful when only the mapping is of interest.
 	SkipPhysical bool
+	// Observer, when non-nil, receives the flow's typed stage events:
+	// compile start/end, stage boundaries with wall times, per-ISC-iteration
+	// records, placement λ-loop progress, and router batch/relaxation
+	// counters. Observers are passive — they see values the flow computes
+	// anyway and are called from the flow's single control goroutine — so
+	// attaching one never changes the compiled result.
+	Observer Observer
 }
+
+// DisabledThreshold is a readable UtilizationThreshold sentinel requesting
+// an explicit stop threshold of zero (the utilization stopping rule is
+// disabled; ISC runs until its other termination conditions fire). A plain
+// 0 cannot express this because the zero value means "auto".
+const DisabledThreshold = -1.0
 
 // DefaultConfig returns the configuration used in the paper's experiments.
 func DefaultConfig() Config {
@@ -164,33 +223,58 @@ type Result struct {
 	Placement *Placement
 	Routing   *Routing
 	Report    *CostReport
+	// StageTimes is the wall time of each executed pipeline stage, keyed
+	// by the Stage constants (iterate with Stages() for a deterministic
+	// order). It is diagnostic only: no golden summary includes it.
+	StageTimes map[Stage]time.Duration
+	// Device records the device model the netlist (and every cost figure)
+	// was built with; Redesign refuses a Config carrying a different one.
+	Device DeviceModel
 }
 
 // Compile runs the complete AutoNCS flow on the network: ISC clustering
 // into the crossbar library, then placement, routing, and cost evaluation.
+// It is CompileCtx under context.Background().
 func Compile(net *Network, cfg Config) (*Result, error) {
+	return CompileCtx(context.Background(), net, cfg)
+}
+
+// CompileCtx runs the complete AutoNCS flow under a context. Cancellation
+// is cooperative and promptly honoured: the flow checks ctx at every ISC
+// iteration, every placement λ checkpoint, and every route batch (including
+// between the strides of the parallel maze searches), returning ctx.Err()
+// wrapped with the stage that was cancelled. cfg.Observer — if set —
+// receives the flow's typed stage events as it runs. Neither the context
+// checks nor the observer perturb the result: an uncancelled CompileCtx is
+// bit-identical to Compile with no observer, for every worker count.
+func CompileCtx(ctx context.Context, net *Network, cfg Config) (*Result, error) {
 	if err := validateInput(net, cfg); err != nil {
 		return nil, err
 	}
-	threshold := cfg.UtilizationThreshold
-	if threshold == 0 {
-		threshold = xbar.FullCro(net, cfg.Library).AvgUtilization()
-	}
-	iscRes, err := core.ISC(net, core.ISCOptions{
-		Library:              cfg.Library,
-		UtilizationThreshold: threshold,
-		SelectionQuantile:    cfg.SelectionQuantile,
-		Rand:                 rand.New(rand.NewSource(cfg.Seed)),
-		Workers:              cfg.Workers,
+	ob := cfg.Observer
+	start := time.Now()
+	obs.Emit(ob, obs.CompileStart{Neurons: net.N(), Connections: net.NNZ(), Workers: cfg.Workers})
+	res := &Result{Device: cfg.Device, StageTimes: make(map[Stage]time.Duration)}
+	err := res.runStage(ob, StageClustering, func() error {
+		iscRes, err := core.ISCCtx(ctx, net, core.ISCOptions{
+			Library:              cfg.Library,
+			UtilizationThreshold: resolveThreshold(net, cfg),
+			SelectionQuantile:    cfg.SelectionQuantile,
+			Rand:                 rand.New(rand.NewSource(cfg.Seed)),
+			Workers:              cfg.Workers,
+			Observer:             ob,
+		})
+		if err != nil {
+			return fmt.Errorf("autoncs: clustering: %w", err)
+		}
+		res.Assignment, res.Trace = iscRes.Assignment, iscRes.Trace
+		return nil
 	})
+	if err == nil && !cfg.SkipPhysical {
+		err = res.physicalDesign(ctx, cfg)
+	}
+	obs.Emit(ob, obs.CompileEnd{Elapsed: time.Since(start), Err: err})
 	if err != nil {
-		return nil, fmt.Errorf("autoncs: clustering: %w", err)
-	}
-	res := &Result{Assignment: iscRes.Assignment, Trace: iscRes.Trace}
-	if cfg.SkipPhysical {
-		return res, nil
-	}
-	if err := res.physicalDesign(cfg); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -198,19 +282,65 @@ func Compile(net *Network, cfg Config) (*Result, error) {
 
 // CompileFullCro runs the paper's baseline: the network realized with
 // maximum-size crossbars only (one per non-empty block), then the same
-// physical design flow.
+// physical design flow. It is CompileFullCroCtx under context.Background().
 func CompileFullCro(net *Network, cfg Config) (*Result, error) {
+	return CompileFullCroCtx(context.Background(), net, cfg)
+}
+
+// CompileFullCroCtx is CompileFullCro under a context, with the same
+// cancellation and observation semantics as CompileCtx (the clustering
+// stage is the FullCro block construction, which is not interruptible but
+// fast).
+func CompileFullCroCtx(ctx context.Context, net *Network, cfg Config) (*Result, error) {
 	if err := validateInput(net, cfg); err != nil {
 		return nil, err
 	}
-	res := &Result{Assignment: xbar.FullCro(net, cfg.Library)}
-	if cfg.SkipPhysical {
-		return res, nil
+	ob := cfg.Observer
+	start := time.Now()
+	obs.Emit(ob, obs.CompileStart{Neurons: net.N(), Connections: net.NNZ(), Workers: cfg.Workers})
+	res := &Result{Device: cfg.Device, StageTimes: make(map[Stage]time.Duration)}
+	err := res.runStage(ob, StageClustering, func() error {
+		res.Assignment = xbar.FullCro(net, cfg.Library)
+		return nil
+	})
+	if err == nil && !cfg.SkipPhysical {
+		err = res.physicalDesign(ctx, cfg)
 	}
-	if err := res.physicalDesign(cfg); err != nil {
+	obs.Emit(ob, obs.CompileEnd{Elapsed: time.Since(start), Err: err})
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// resolveThreshold maps Config.UtilizationThreshold to the concrete ISC
+// stop threshold: zero means automatic (the FullCro baseline's average
+// utilization on the same network), negative means an explicit zero
+// (utilization stopping disabled), anything else passes through.
+func resolveThreshold(net *Network, cfg Config) float64 {
+	switch t := cfg.UtilizationThreshold; {
+	case t == 0:
+		return xbar.FullCro(net, cfg.Library).AvgUtilization()
+	case t < 0:
+		return 0
+	default:
+		return t
+	}
+}
+
+// runStage times f as the named pipeline stage, recording the wall time on
+// res.StageTimes and emitting the stage boundary events.
+func (res *Result) runStage(ob Observer, stage Stage, f func() error) error {
+	if res.StageTimes == nil {
+		res.StageTimes = make(map[Stage]time.Duration)
+	}
+	obs.Emit(ob, obs.StageStart{Stage: stage})
+	t := time.Now()
+	err := f()
+	d := time.Since(t)
+	res.StageTimes[stage] = d
+	obs.Emit(ob, obs.StageEnd{Stage: stage, Elapsed: d, Err: err})
+	return err
 }
 
 // validateInput rejects the degenerate configurations and inputs that used
@@ -231,36 +361,86 @@ func validateInput(net *Network, cfg Config) error {
 	if cfg.Library.Empty() {
 		return fmt.Errorf("autoncs: empty crossbar library (use DefaultLibrary)")
 	}
+	if math.IsNaN(cfg.UtilizationThreshold) {
+		return fmt.Errorf("autoncs: Config.UtilizationThreshold is NaN; use 0 for auto or DisabledThreshold to disable the stopping rule")
+	}
+	if cfg.UtilizationThreshold > 1 {
+		return fmt.Errorf("autoncs: Config.UtilizationThreshold = %g exceeds 1; utilization is a fraction in [0,1]", cfg.UtilizationThreshold)
+	}
+	if math.IsNaN(cfg.SelectionQuantile) {
+		return fmt.Errorf("autoncs: Config.SelectionQuantile is NaN; use 0 for the paper's 0.75 or a negative value to disable partial selection")
+	}
+	if cfg.SelectionQuantile > 1 {
+		return fmt.Errorf("autoncs: Config.SelectionQuantile = %g exceeds 1; quantiles lie in [0,1]", cfg.SelectionQuantile)
+	}
 	return nil
 }
 
 // routeOptions is cfg.Route with an unset Workers knob inheriting the
-// flow-level Config.Workers.
+// flow-level Config.Workers and an unset Observer inheriting the flow's.
 func routeOptions(cfg Config) RouteOptions {
 	ro := cfg.Route
 	if ro.Workers == 0 {
 		ro.Workers = cfg.Workers
 	}
+	if ro.Observer == nil {
+		ro.Observer = cfg.Observer
+	}
 	return ro
 }
 
-// physicalDesign runs netlist → place → route → cost on res.Assignment.
-func (res *Result) physicalDesign(cfg Config) error {
-	nl, err := netlist.Build(res.Assignment, cfg.Device)
-	if err != nil {
-		return fmt.Errorf("autoncs: netlist: %w", err)
+// placeOptions is cfg.Place with an unset Observer inheriting the flow's.
+func placeOptions(cfg Config) PlaceOptions {
+	po := cfg.Place
+	if po.Observer == nil {
+		po.Observer = cfg.Observer
 	}
-	pl, err := place.Place(nl, cfg.Place)
-	if err != nil {
-		return fmt.Errorf("autoncs: placement: %w", err)
+	return po
+}
+
+// physicalDesign runs netlist → place → route → cost on res.Assignment,
+// timing each stage and honouring ctx in the place and route loops.
+func (res *Result) physicalDesign(ctx context.Context, cfg Config) error {
+	ob := cfg.Observer
+	var nl *Netlist
+	if err := res.runStage(ob, StageNetlist, func() error {
+		var err error
+		if nl, err = netlist.Build(res.Assignment, cfg.Device); err != nil {
+			return fmt.Errorf("autoncs: netlist: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
-	rt, err := route.Route(nl, pl, routeOptions(cfg))
-	if err != nil {
-		return fmt.Errorf("autoncs: routing: %w", err)
+	var pl *Placement
+	if err := res.runStage(ob, StagePlace, func() error {
+		var err error
+		if pl, err = place.PlaceCtx(ctx, nl, placeOptions(cfg)); err != nil {
+			return fmt.Errorf("autoncs: placement: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
-	rep, err := cost.Evaluate(nl, pl, rt, cfg.Device, cfg.Cost)
-	if err != nil {
-		return fmt.Errorf("autoncs: cost: %w", err)
+	var rt *Routing
+	if err := res.runStage(ob, StageRoute, func() error {
+		var err error
+		if rt, err = route.RouteCtx(ctx, nl, pl, routeOptions(cfg)); err != nil {
+			return fmt.Errorf("autoncs: routing: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	var rep *CostReport
+	if err := res.runStage(ob, StageCost, func() error {
+		var err error
+		if rep, err = cost.Evaluate(nl, pl, rt, cfg.Device, cfg.Cost); err != nil {
+			return fmt.Errorf("autoncs: cost: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	res.Netlist, res.Placement, res.Routing, res.Report = nl, pl, rt, rep
 	return nil
@@ -268,22 +448,48 @@ func (res *Result) physicalDesign(cfg Config) error {
 
 // Redesign re-runs placement, routing, and cost evaluation on the result's
 // existing netlist — useful after modifying it (e.g. flattening wire
-// weights for an ablation). It requires a prior non-SkipPhysical compile.
+// weights for an ablation). It requires a prior non-SkipPhysical compile,
+// and it refuses a cfg whose Device differs from the one the netlist was
+// built with: geometry and delay constants are baked into the netlist at
+// Build time, so evaluating it under another device silently produces
+// inconsistent area/delay reports.
 func (res *Result) Redesign(cfg Config) error {
 	if res.Netlist == nil {
 		return fmt.Errorf("autoncs: Redesign requires an existing netlist")
 	}
-	pl, err := place.Place(res.Netlist, cfg.Place)
-	if err != nil {
-		return fmt.Errorf("autoncs: placement: %w", err)
+	if cfg.Device != res.Device {
+		return fmt.Errorf("autoncs: Redesign device model differs from the %v the netlist was built with; keep cfg.Device, or re-run Compile to rebuild the netlist", res.Device)
 	}
-	rt, err := route.Route(res.Netlist, pl, routeOptions(cfg))
-	if err != nil {
-		return fmt.Errorf("autoncs: routing: %w", err)
+	ob := cfg.Observer
+	var pl *Placement
+	if err := res.runStage(ob, StagePlace, func() error {
+		var err error
+		if pl, err = place.Place(res.Netlist, placeOptions(cfg)); err != nil {
+			return fmt.Errorf("autoncs: placement: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
-	rep, err := cost.Evaluate(res.Netlist, pl, rt, cfg.Device, cfg.Cost)
-	if err != nil {
-		return fmt.Errorf("autoncs: cost: %w", err)
+	var rt *Routing
+	if err := res.runStage(ob, StageRoute, func() error {
+		var err error
+		if rt, err = route.Route(res.Netlist, pl, routeOptions(cfg)); err != nil {
+			return fmt.Errorf("autoncs: routing: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	var rep *CostReport
+	if err := res.runStage(ob, StageCost, func() error {
+		var err error
+		if rep, err = cost.Evaluate(res.Netlist, pl, rt, cfg.Device, cfg.Cost); err != nil {
+			return fmt.Errorf("autoncs: cost: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	res.Placement, res.Routing, res.Report = pl, rt, rep
 	return nil

@@ -1,0 +1,296 @@
+package autoncs_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// cancelOn is an observer that cancels its context the moment it sees an
+// event for which trigger returns true — a deterministic way to cancel
+// mid-stage, since events are delivered from the flow's control goroutine.
+type cancelOn struct {
+	cancel  context.CancelFunc
+	trigger func(obs.Event) bool
+	fired   bool
+}
+
+func (c *cancelOn) Observe(e obs.Event) {
+	if !c.fired && c.trigger(e) {
+		c.fired = true
+		c.cancel()
+	}
+}
+
+// compileCancelledAt runs a physical compile whose context is cancelled on
+// the first event matching trigger, and returns the compile error.
+func compileCancelledAt(t *testing.T, trigger func(obs.Event) bool) error {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ob := &cancelOn{cancel: cancel, trigger: trigger}
+	net := autoncs.RandomSparseNetwork(160, 0.93, 9)
+	cfg := autoncs.DefaultConfig()
+	cfg.Seed = 9
+	cfg.Observer = ob
+	res, err := autoncs.CompileCtx(ctx, net, cfg)
+	if !ob.fired {
+		t.Fatal("trigger event never observed; cannot test cancellation")
+	}
+	if err == nil {
+		t.Fatalf("cancelled compile succeeded: %+v", res.Report)
+	}
+	return err
+}
+
+// checkGoroutines fails the test if the goroutine count has not settled back
+// to the baseline — a cancelled compile must not leak pool workers.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked after cancellation: %d, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+func TestCancelMidISC(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	err := compileCancelledAt(t, func(e obs.Event) bool {
+		_, ok := e.(obs.ISCIteration)
+		return ok
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "clustering") {
+		t.Errorf("error %q does not name the clustering stage", err)
+	}
+	checkGoroutines(t, baseline)
+}
+
+func TestCancelMidPlace(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	err := compileCancelledAt(t, func(e obs.Event) bool {
+		_, ok := e.(obs.PlaceProgress)
+		return ok
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "placement") {
+		t.Errorf("error %q does not name the placement stage", err)
+	}
+	checkGoroutines(t, baseline)
+}
+
+func TestCancelMidRoute(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	err := compileCancelledAt(t, func(e obs.Event) bool {
+		_, ok := e.(obs.RouteBatch)
+		return ok
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "routing") {
+		t.Errorf("error %q does not name the routing stage", err)
+	}
+	checkGoroutines(t, baseline)
+}
+
+// TestCancelBeforeStart: an already-cancelled context fails fast, before any
+// stage runs.
+func TestCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	net := autoncs.RandomSparseNetwork(120, 0.92, 3)
+	m := &autoncs.MetricsObserver{}
+	cfg := autoncs.DefaultConfig()
+	cfg.Observer = m
+	if _, err := autoncs.CompileCtx(ctx, net, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled compile returned %v", err)
+	}
+	snap := m.Snapshot()
+	if snap.PlaceSteps != 0 || snap.RouteBatches != 0 {
+		t.Fatalf("pre-cancelled compile still placed/routed: %+v", snap)
+	}
+}
+
+// recordingObserver captures the full event stream in order. Events arrive
+// sequentially on the control goroutine, so no locking is needed.
+type recordingObserver struct{ events []obs.Event }
+
+func (r *recordingObserver) Observe(e obs.Event) { r.events = append(r.events, e) }
+
+// typeSequence renders the event stream as one comparable string of event
+// kinds (stage boundaries keep their stage name).
+func typeSequence(events []obs.Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		switch e := e.(type) {
+		case obs.CompileStart:
+			b.WriteString("compile-start;")
+		case obs.CompileEnd:
+			b.WriteString("compile-end;")
+		case obs.StageStart:
+			b.WriteString("start:" + string(e.Stage) + ";")
+		case obs.StageEnd:
+			b.WriteString("end:" + string(e.Stage) + ";")
+		case obs.ISCIteration:
+			b.WriteString("isc;")
+		case obs.PlaceProgress:
+			b.WriteString("place;")
+		case obs.RouteBatch:
+			b.WriteString("batch;")
+		case obs.RouteRelaxation:
+			b.WriteString("relax;")
+		default:
+			b.WriteString("unknown;")
+		}
+	}
+	return b.String()
+}
+
+// TestObserverEventSequence pins the order and nesting of the event stream:
+// CompileStart first, CompileEnd last, the five stages in pipeline order
+// with properly paired boundaries, per-iteration events inside their stage,
+// and an event sequence that is identical across worker counts.
+func TestObserverEventSequence(t *testing.T) {
+	net := autoncs.RandomSparseNetwork(140, 0.93, 11)
+	run := func(workers int) (*recordingObserver, *autoncs.Result) {
+		rec := &recordingObserver{}
+		cfg := autoncs.DefaultConfig()
+		cfg.Seed = 11
+		cfg.Workers = workers
+		cfg.Observer = rec
+		res, err := autoncs.Compile(net, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rec, res
+	}
+	rec, res := run(1)
+	ev := rec.events
+	if len(ev) < 12 { // 2 compile + 10 stage boundaries at minimum
+		t.Fatalf("only %d events", len(ev))
+	}
+	if _, ok := ev[0].(obs.CompileStart); !ok {
+		t.Errorf("first event %T, want CompileStart", ev[0])
+	}
+	end, ok := ev[len(ev)-1].(obs.CompileEnd)
+	if !ok {
+		t.Fatalf("last event %T, want CompileEnd", ev[len(ev)-1])
+	}
+	if end.Err != nil || end.Elapsed <= 0 {
+		t.Errorf("CompileEnd{Elapsed: %v, Err: %v} on a successful compile", end.Elapsed, end.Err)
+	}
+
+	// Stage boundaries appear exactly once each, in pipeline order, and
+	// every per-iteration event falls inside its own stage's window.
+	open := ""
+	var started []autoncs.Stage
+	for i, e := range ev {
+		switch e := e.(type) {
+		case obs.StageStart:
+			if open != "" {
+				t.Fatalf("event %d: stage %s started inside %s", i, e.Stage, open)
+			}
+			open = string(e.Stage)
+			started = append(started, e.Stage)
+		case obs.StageEnd:
+			if open != string(e.Stage) {
+				t.Fatalf("event %d: stage %s ended while %q open", i, e.Stage, open)
+			}
+			open = ""
+		case obs.ISCIteration:
+			if open != string(autoncs.StageClustering) {
+				t.Fatalf("event %d: ISCIteration outside clustering (in %q)", i, open)
+			}
+		case obs.PlaceProgress:
+			if open != string(autoncs.StagePlace) {
+				t.Fatalf("event %d: PlaceProgress outside place (in %q)", i, open)
+			}
+		case obs.RouteBatch, obs.RouteRelaxation:
+			if open != string(autoncs.StageRoute) {
+				t.Fatalf("event %d: %T outside route (in %q)", i, e, open)
+			}
+		}
+	}
+	wantStages := autoncs.Stages()
+	if len(started) != len(wantStages) {
+		t.Fatalf("stages started %v, want %v", started, wantStages)
+	}
+	for i, s := range wantStages {
+		if started[i] != s {
+			t.Fatalf("stage %d = %s, want %s", i, started[i], s)
+		}
+	}
+
+	// ISC iteration events mirror the recorded trace one-to-one.
+	iscEvents := 0
+	for _, e := range ev {
+		if it, ok := e.(obs.ISCIteration); ok {
+			iscEvents++
+			if it.Index != iscEvents {
+				t.Errorf("ISCIteration index %d at position %d", it.Index, iscEvents)
+			}
+		}
+	}
+	if iscEvents != len(res.Trace) {
+		t.Errorf("%d ISCIteration events, trace has %d", iscEvents, len(res.Trace))
+	}
+
+	// StageTimes carries every executed stage.
+	for _, s := range wantStages {
+		if res.StageTimes[s] <= 0 {
+			t.Errorf("StageTimes[%s] = %v", s, res.StageTimes[s])
+		}
+	}
+
+	// The event stream is worker-count invariant, like every other output.
+	rec4, _ := run(4)
+	if got, want := typeSequence(rec4.events), typeSequence(ev); got != want {
+		t.Errorf("Workers=4 event sequence diverged from Workers=1:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestMetricsObserverOnCompile checks the ready-made metrics observer
+// accumulates a coherent snapshot from a real compile.
+func TestMetricsObserverOnCompile(t *testing.T) {
+	net := autoncs.RandomSparseNetwork(140, 0.93, 11)
+	m := &autoncs.MetricsObserver{}
+	cfg := autoncs.DefaultConfig()
+	cfg.Seed = 11
+	cfg.Observer = m
+	res, err := autoncs.Compile(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Compiles != 1 {
+		t.Errorf("Compiles = %d", snap.Compiles)
+	}
+	if snap.ISCIterations != len(res.Trace) {
+		t.Errorf("ISCIterations = %d, trace %d", snap.ISCIterations, len(res.Trace))
+	}
+	if snap.PlaceSteps == 0 || snap.RouteBatches == 0 {
+		t.Errorf("no progress events: %+v", snap)
+	}
+	if snap.Err != nil {
+		t.Errorf("Err = %v", snap.Err)
+	}
+	for _, s := range autoncs.Stages() {
+		if snap.StageTimes[s] != res.StageTimes[s] {
+			t.Errorf("StageTimes[%s]: observer %v, result %v", s, snap.StageTimes[s], res.StageTimes[s])
+		}
+	}
+}

@@ -10,10 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
 	"text/tabwriter"
+	"time"
 
 	"repro"
 	"repro/internal/parallel"
@@ -32,6 +37,8 @@ func main() {
 		savePath = flag.String("save", "", "save the generated network to a file before compiling")
 		dumpPath = flag.String("dump", "", "write the resulting hybrid assignment as JSON")
 		workers  = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
+		verbose  = flag.Bool("v", false, "log stage boundaries and ISC iterations to stderr")
+		trace    = flag.Bool("trace", false, "log every flow event to stderr, including per-checkpoint placement progress and route batches (implies -v)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -39,6 +46,11 @@ func main() {
 		os.Exit(2)
 	}
 	parallel.SetDefault(*workers)
+
+	// Ctrl-C cancels the flow cooperatively: the compile returns a wrapped
+	// context error from whichever stage it was in.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var net *autoncs.Network
 	switch {
@@ -77,13 +89,13 @@ func main() {
 	cfg.SkipPhysical = *skipPhys
 	cfg.SelectionQuantile = *quantile
 	cfg.Workers = *workers
+	cfg.Observer = stderrObserver(*verbose, *trace)
 
-	res, err := autoncs.Compile(net, cfg)
+	res, err := autoncs.CompileCtx(ctx, net, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "autoncs:", err)
-		os.Exit(1)
+		exitErr("autoncs", err)
 	}
-	printResult("AutoNCS", res)
+	printResult("AutoNCS", res, *verbose || *trace)
 	if *dumpPath != "" {
 		if err := res.Assignment.SaveJSON(*dumpPath); err != nil {
 			fmt.Fprintln(os.Stderr, "dump:", err)
@@ -93,12 +105,11 @@ func main() {
 	}
 
 	if *baseline {
-		full, err := autoncs.CompileFullCro(net, cfg)
+		full, err := autoncs.CompileFullCroCtx(ctx, net, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fullcro:", err)
-			os.Exit(1)
+			exitErr("fullcro", err)
 		}
-		printResult("FullCro", full)
+		printResult("FullCro", full, *verbose || *trace)
 		if !*skipPhys {
 			cmp, err := autoncs.Compare(res, full)
 			if err != nil {
@@ -111,7 +122,36 @@ func main() {
 	}
 }
 
-func printResult(name string, res *autoncs.Result) {
+// stderrObserver maps the -v/-trace flags to a slog observer on stderr:
+// -v shows stage boundaries, ISC iterations, and relaxations (Info); -trace
+// additionally shows placement checkpoints and route batches (Debug).
+func stderrObserver(verbose, trace bool) autoncs.Observer {
+	if !verbose && !trace {
+		return nil
+	}
+	level := slog.LevelInfo
+	if trace {
+		level = slog.LevelDebug
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	return autoncs.NewSlogObserver(slog.New(h))
+}
+
+// exitErr prints err and exits — with the conventional 130 after Ctrl-C.
+func exitErr(prefix string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prefix, err)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted")
+		os.Exit(130)
+	}
+	os.Exit(1)
+}
+
+// printResult writes the deterministic result summary to stdout; the
+// per-stage wall times (non-deterministic) are included only when the user
+// asked for diagnostics, so default output stays byte-comparable across
+// runs and worker counts.
+func printResult(name string, res *autoncs.Result, showTimes bool) {
 	a := res.Assignment
 	fmt.Printf("== %s ==\n", name)
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
@@ -128,6 +168,13 @@ func printResult(name string, res *autoncs.Result) {
 		fmt.Fprintf(w, "placement area\t%.2f µm²\n", res.Report.Area)
 		fmt.Fprintf(w, "avg wire delay\t%.3f ns\n", res.Report.AvgDelay)
 		fmt.Fprintf(w, "cost (αL+βA+δT)\t%.1f\n", res.Report.Cost)
+	}
+	if showTimes {
+		for _, s := range autoncs.Stages() {
+			if d, ok := res.StageTimes[s]; ok {
+				fmt.Fprintf(w, "%s time\t%v\n", s, d.Round(time.Microsecond))
+			}
+		}
 	}
 	w.Flush()
 	if h := a.SizeHistogram(); len(h) > 0 {

@@ -11,12 +11,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"sort"
 	"text/tabwriter"
+	"time"
 
 	autoncs "repro"
 	"repro/internal/experiments"
@@ -28,10 +33,12 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "run scaled-down versions of every experiment")
-		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1, reliability, fidelity, compile2000")
+		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1, compile, reliability, fidelity, compile2000")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
 		large   = flag.Bool("large", false, "also run compile2000, the 2000-neuron cluster-only compile (minutes of CPU time)")
+		verbose = flag.Bool("v", false, "log compile stage boundaries and ISC iterations to stderr")
+		trace   = flag.Bool("trace", false, "log every compile event to stderr, including placement checkpoints and route batches (implies -v)")
 
 		benchout   = flag.String("benchout", "", "write a machine-readable JSON benchmark report (per-stage wall time, allocations, paper metrics) to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
@@ -47,6 +54,11 @@ func main() {
 		os.Exit(2)
 	}
 	parallel.SetDefault(*workers)
+
+	// Ctrl-C cancels the current experiment cooperatively; the run exits
+	// with the conventional 130 once the in-flight stage unwinds.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -82,28 +94,35 @@ func main() {
 		}
 	}
 
+	observer := stderrObserver(*verbose, *trace)
+
 	run := func(name string, f func() error) {
 		if *only != "" && *only != name {
 			return
 		}
 		if err := rec.run(name, f); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "interrupted")
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 	}
 
 	run("fig3", func() error { return figure3(n, maxSize, *seed, rec) })
 	run("fig4", func() error { return figure4(n, maxSize, *seed, rec) })
-	run("fig56", func() error { return figure56(n, *seed, rec) })
-	run("fig7", func() error { return figureISC(tbs[0], 7, *seed, rec) })
-	run("fig8", func() error { return figureISC(tbs[1], 8, *seed, rec) })
-	run("fig9", func() error { return figureISC(tbs[2], 9, *seed, rec) })
-	run("fig10", func() error { return figure10(tbs[2], *seed, rec) })
-	run("table1", func() error { return table1(tbs, *seed, rec) })
+	run("fig56", func() error { return figure56(ctx, n, *seed, rec) })
+	run("fig7", func() error { return figureISC(ctx, tbs[0], 7, *seed, rec) })
+	run("fig8", func() error { return figureISC(ctx, tbs[1], 8, *seed, rec) })
+	run("fig9", func() error { return figureISC(ctx, tbs[2], 9, *seed, rec) })
+	run("fig10", func() error { return figure10(ctx, tbs[2], *seed, rec) })
+	run("table1", func() error { return table1(ctx, tbs, *seed, rec) })
+	run("compile", func() error { return compileBreakdown(ctx, n, *seed, *workers, observer, rec) })
 	run("reliability", func() error { return reliability(*quick, *seed) })
 	run("fidelity", func() error { return fidelity(*quick, *seed) })
 	if *large || *only == "compile2000" {
-		run("compile2000", func() error { return compile2000(*seed, *workers, rec) })
+		run("compile2000", func() error { return compile2000(ctx, *seed, *workers, observer, rec) })
 	}
 
 	rec.setBaseline(*baselineRef, *baselineWall, *baselineAllocs)
@@ -128,23 +147,77 @@ func main() {
 	}
 }
 
+// stderrObserver maps the -v/-trace flags to a slog observer on stderr:
+// -v shows stage boundaries, ISC iterations, and relaxations (Info); -trace
+// additionally shows placement checkpoints and route batches (Debug).
+func stderrObserver(verbose, trace bool) autoncs.Observer {
+	if !verbose && !trace {
+		return nil
+	}
+	level := slog.LevelInfo
+	if trace {
+		level = slog.LevelDebug
+	}
+	h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})
+	return autoncs.NewSlogObserver(slog.New(h))
+}
+
+// compileBreakdown runs one full physical compile and reports where the
+// wall time goes, stage by stage, through Result.StageTimes.
+func compileBreakdown(ctx context.Context, n int, seed int64, workers int, ob autoncs.Observer, rec *reporter) error {
+	header(fmt.Sprintf("compile — full-flow stage breakdown (%d neurons)", n))
+	net := autoncs.RandomSparseNetwork(n, 0.94, seed)
+	cfg := autoncs.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.Observer = ob
+	res, err := autoncs.CompileCtx(ctx, net, cfg)
+	if err != nil {
+		return err
+	}
+	total := time.Duration(0)
+	for _, s := range autoncs.Stages() {
+		total += res.StageTimes[s]
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "stage\twall time\tshare")
+	for _, s := range autoncs.Stages() {
+		d := res.StageTimes[s]
+		share := 0.0
+		if total > 0 {
+			share = float64(d) / float64(total)
+		}
+		fmt.Fprintf(w, "%s\t%v\t%.1f%%\n", s, d.Round(time.Microsecond), 100*share)
+	}
+	fmt.Fprintf(w, "total\t%v\t\n", total.Round(time.Microsecond))
+	w.Flush()
+	fmt.Printf("cost: wirelength %.1f µm, area %.2f µm², avg delay %.3f ns\n",
+		res.Report.Wirelength, res.Report.Area, res.Report.AvgDelay)
+	rec.stageTimes(res.StageTimes)
+	rec.metric("total_seconds", total.Seconds())
+	rec.metric("wirelength_um", res.Report.Wirelength)
+	return nil
+}
+
 // compile2000 is the large-scale stage: the same 2000-neuron cluster-only
 // compile BenchmarkCompile2000 times (the regime the paper's introduction
 // motivates), run once so the report captures paper-scale wall time and
 // allocation behaviour.
-func compile2000(seed int64, workers int, rec *reporter) error {
+func compile2000(ctx context.Context, seed int64, workers int, ob autoncs.Observer, rec *reporter) error {
 	header("compile2000 — 2000-neuron cluster-only compile")
 	net := autoncs.RandomSparseNetwork(2000, 0.985, seed)
 	cfg := autoncs.DefaultConfig()
 	cfg.SkipPhysical = true
 	cfg.Workers = workers
-	res, err := autoncs.Compile(net, cfg)
+	cfg.Observer = ob
+	res, err := autoncs.CompileCtx(ctx, net, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("crossbars: %d, synapses: %d, outliers %.1f%%, %d ISC iterations\n",
 		len(res.Assignment.Crossbars), len(res.Assignment.Synapses),
 		100*res.Assignment.OutlierRatio(), len(res.Trace))
+	rec.stageTimes(res.StageTimes)
 	rec.metric("crossbars", float64(len(res.Assignment.Crossbars)))
 	rec.metric("synapses", float64(len(res.Assignment.Synapses)))
 	rec.metric("outlier_ratio", res.Assignment.OutlierRatio())
@@ -241,9 +314,9 @@ func figure4(n, maxSize int, seed int64, rec *reporter) error {
 	return nil
 }
 
-func figure56(n int, seed int64, rec *reporter) error {
+func figure56(ctx context.Context, n int, seed int64, rec *reporter) error {
 	header("Figures 5 & 6 — ISC iterations (remaining network)")
-	res, err := experiments.Figure56(n, seed, true)
+	res, err := experiments.Figure56Ctx(ctx, n, seed, true)
 	if err != nil {
 		return err
 	}
@@ -259,9 +332,9 @@ func figure56(n int, seed int64, rec *reporter) error {
 	return nil
 }
 
-func figureISC(tb hopfield.Testbench, figNo int, seed int64, rec *reporter) error {
+func figureISC(ctx context.Context, tb hopfield.Testbench, figNo int, seed int64, rec *reporter) error {
 	header(fmt.Sprintf("Figure %d — ISC efficacy, testbench %d (M=%d, N=%d)", figNo, tb.ID, tb.M, tb.N))
-	a, err := experiments.FigureISC(tb, seed)
+	a, err := experiments.FigureISCCtx(ctx, tb, seed)
 	if err != nil {
 		return err
 	}
@@ -317,9 +390,9 @@ func bar(v float64, width int) string {
 	return string(out)
 }
 
-func figure10(tb hopfield.Testbench, seed int64, rec *reporter) error {
+func figure10(ctx context.Context, tb hopfield.Testbench, seed int64, rec *reporter) error {
 	header("Figure 10 — placement & routing of testbench 3")
-	res, err := experiments.Figure10(tb, seed)
+	res, err := experiments.Figure10Ctx(ctx, tb, seed)
 	if err != nil {
 		return err
 	}
@@ -337,9 +410,9 @@ func figure10(tb hopfield.Testbench, seed int64, rec *reporter) error {
 	return nil
 }
 
-func table1(tbs []hopfield.Testbench, seed int64, rec *reporter) error {
+func table1(ctx context.Context, tbs []hopfield.Testbench, seed int64, rec *reporter) error {
 	header("Table 1 — physical design cost evaluation")
-	res, err := experiments.Table1(tbs, seed)
+	res, err := experiments.Table1Ctx(ctx, tbs, seed)
 	if err != nil {
 		return err
 	}

@@ -6,13 +6,15 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	autoncs "repro"
 )
 
 // StageStats is one experiment stage of a BenchReport: wall time, the
 // allocation counters of the Go runtime across the stage, and the paper
 // metrics the stage produced.
 type StageStats struct {
-	Name        string `json:"name"`
+	Name        string  `json:"name"`
 	WallSeconds float64 `json:"wall_seconds"`
 	// Allocs and AllocBytes are the runtime.MemStats deltas (Mallocs,
 	// TotalAlloc) over the stage: total heap objects and bytes allocated,
@@ -20,6 +22,10 @@ type StageStats struct {
 	Allocs     uint64             `json:"allocs"`
 	AllocBytes uint64             `json:"alloc_bytes"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// StageTimes breaks the stage's wall time down by compile pipeline
+	// stage (clustering, netlist, place, route, cost), in seconds — filled
+	// from Result.StageTimes by the stages that run the full flow.
+	StageTimes map[string]float64 `json:"stage_times_seconds,omitempty"`
 }
 
 // Baseline pins the pre-optimization reference measurement of the
@@ -89,6 +95,20 @@ func (r *reporter) run(name string, f func() error) error {
 	r.rep.Stages = append(r.rep.Stages, *r.stage)
 	r.stage = nil
 	return err
+}
+
+// stageTimes attaches a compile's per-stage wall-time breakdown to the
+// stage currently running.
+func (r *reporter) stageTimes(st map[autoncs.Stage]time.Duration) {
+	if r == nil || r.stage == nil || len(st) == 0 {
+		return
+	}
+	if r.stage.StageTimes == nil {
+		r.stage.StageTimes = make(map[string]float64, len(st))
+	}
+	for s, d := range st {
+		r.stage.StageTimes[string(s)] = d.Seconds()
+	}
 }
 
 // metric attaches a named value to the stage currently running.

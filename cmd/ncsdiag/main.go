@@ -5,14 +5,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/hopfield"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/route"
 	"repro/internal/xbar"
@@ -26,19 +31,29 @@ func main() {
 		outer   = flag.Int("outer", 10, "max lambda rounds")
 		omega   = flag.Float64("omega", 1.6, "virtual width factor")
 		gamma   = flag.Float64("gamma", 2.0, "WA smoothing")
+		trace   = flag.Bool("trace", false, "log every clustering/placement/routing event to stderr")
 	)
 	flag.Parse()
 	tb := hopfield.Testbenches()[*tbID-1]
 	cm, _, _ := tb.Build(*seed)
 	fmt.Printf("testbench %d: %d neurons, %d connections\n", tb.ID, cm.N(), cm.NNZ())
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	var observer obs.Observer
+	if *trace {
+		h := slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug})
+		observer = obs.NewSlog(slog.New(h))
+	}
+
 	lib := xbar.DefaultLibrary()
 	dev := xbar.Default45nm()
 	full := xbar.FullCro(cm, lib)
-	iscRes, err := core.ISC(cm, core.ISCOptions{
+	iscRes, err := core.ISCCtx(ctx, cm, core.ISCOptions{
 		Library:              lib,
 		UtilizationThreshold: full.AvgUtilization(),
 		Rand:                 rand.New(rand.NewSource(*seed)),
+		Observer:             observer,
 	})
 	check(err)
 
@@ -47,6 +62,10 @@ func main() {
 	opts.MaxOuter = *outer
 	opts.Omega = *omega
 	opts.Gamma = *gamma
+	opts.Observer = observer
+
+	routeOpts := route.DefaultOptions()
+	routeOpts.Observer = observer
 
 	for _, d := range []struct {
 		name string
@@ -57,7 +76,7 @@ func main() {
 		wiresPerNeuron := float64(len(nl.Wires)) / float64(len(nl.NeuronCell))
 		fmt.Printf("\n== %s: %d cells, %d wires (%.1f per neuron)\n",
 			d.name, len(nl.Cells), len(nl.Wires), wiresPerNeuron)
-		pl, err := place.Place(nl, opts)
+		pl, err := place.PlaceCtx(ctx, nl, opts)
 		check(err)
 		fmt.Printf("  placement: HPWL initial %.0f → global %.0f → legalized %.0f; area %.0f µm² (%.0f×%.0f), outer rounds %d\n",
 			pl.InitialHPWL, pl.GlobalHPWL, pl.HPWL, pl.Area(), pl.Width(), pl.Height(), pl.Outer)
@@ -66,7 +85,7 @@ func main() {
 			unweighted += abs(pl.X[w.From]-pl.X[w.To]) + abs(pl.Y[w.From]-pl.Y[w.To])
 		}
 		fmt.Printf("  unweighted HPWL %.0f (avg %.1f µm/wire)\n", unweighted, unweighted/float64(len(nl.Wires)))
-		rt, err := route.Route(nl, pl, route.DefaultOptions())
+		rt, err := route.RouteCtx(ctx, nl, pl, routeOpts)
 		check(err)
 		fmt.Printf("  routed: total %.0f µm (avg %.1f), relaxations %d, peak bin usage %d\n",
 			rt.Total, rt.Total/float64(len(nl.Wires)), rt.Relaxations, rt.MaxUsage())
@@ -83,6 +102,10 @@ func abs(v float64) float64 {
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted")
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,166 @@
+package autoncs
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/xbar"
+)
+
+// TestValidateConfig pins the Compile-time rejection of every degenerate
+// Config knob, with error messages that name the offending field.
+func TestValidateConfig(t *testing.T) {
+	net := smallNet()
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string // substring of the error; "" means the config is valid
+	}{
+		{"default", func(c *Config) {}, ""},
+		{"negative workers", func(c *Config) { c.Workers = -2 }, "Workers"},
+		{"empty library", func(c *Config) { c.Library = Library{} }, "library"},
+		{"threshold NaN", func(c *Config) { c.UtilizationThreshold = math.NaN() }, "UtilizationThreshold is NaN"},
+		{"threshold above one", func(c *Config) { c.UtilizationThreshold = 1.5 }, "UtilizationThreshold = 1.5"},
+		{"threshold one ok", func(c *Config) { c.UtilizationThreshold = 1 }, ""},
+		{"threshold disabled ok", func(c *Config) { c.UtilizationThreshold = DisabledThreshold }, ""},
+		{"quantile NaN", func(c *Config) { c.SelectionQuantile = math.NaN() }, "SelectionQuantile is NaN"},
+		{"quantile above one", func(c *Config) { c.SelectionQuantile = 2 }, "SelectionQuantile = 2"},
+		{"quantile negative ok", func(c *Config) { c.SelectionQuantile = -1 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.SkipPhysical = true
+			tc.mutate(&cfg)
+			_, err := Compile(net, cfg)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateInputNetworks covers the degenerate network inputs.
+func TestValidateInputNetworks(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Compile(nil, cfg); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := Compile(NewNetwork(0), cfg); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := Compile(NewNetwork(10), cfg); err == nil {
+		t.Error("connectionless network accepted")
+	}
+}
+
+// TestResolveThreshold pins the UtilizationThreshold sentinel semantics:
+// zero is automatic (the FullCro baseline's average utilization), negative
+// is an explicit zero (stopping rule disabled), in-range passes through.
+func TestResolveThreshold(t *testing.T) {
+	net := smallNet()
+	cfg := DefaultConfig()
+
+	auto := resolveThreshold(net, cfg)
+	want := xbar.FullCro(net, cfg.Library).AvgUtilization()
+	if auto != want {
+		t.Errorf("auto threshold %g, want FullCro baseline %g", auto, want)
+	}
+	if auto <= 0 || auto > 1 {
+		t.Errorf("auto threshold %g outside (0,1]", auto)
+	}
+
+	cfg.UtilizationThreshold = DisabledThreshold
+	if got := resolveThreshold(net, cfg); got != 0 {
+		t.Errorf("DisabledThreshold resolved to %g, want 0", got)
+	}
+	cfg.UtilizationThreshold = -0.25 // any negative value disables
+	if got := resolveThreshold(net, cfg); got != 0 {
+		t.Errorf("negative threshold resolved to %g, want 0", got)
+	}
+
+	cfg.UtilizationThreshold = 0.42
+	if got := resolveThreshold(net, cfg); got != 0.42 {
+		t.Errorf("explicit threshold resolved to %g, want 0.42", got)
+	}
+}
+
+// TestAutoThresholdMatchesExplicit proves zero-threshold backward
+// compatibility end to end: compiling with the zero value is bit-identical
+// to compiling with the FullCro baseline utilization passed explicitly.
+func TestAutoThresholdMatchesExplicit(t *testing.T) {
+	net := smallNet()
+	auto := DefaultConfig()
+	auto.SkipPhysical = true
+	explicit := auto
+	explicit.UtilizationThreshold = xbar.FullCro(net, auto.Library).AvgUtilization()
+
+	a, err := Compile(net, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(net, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("auto threshold traced %d iterations, explicit %d", len(a.Trace), len(b.Trace))
+	}
+	if got, want := len(a.Assignment.Crossbars), len(b.Assignment.Crossbars); got != want {
+		t.Fatalf("auto threshold produced %d crossbars, explicit %d", got, want)
+	}
+}
+
+// TestDisabledThresholdChangesStopping checks the new sentinel is not a
+// no-op: with the utilization rule disabled, ISC's recorded stop threshold
+// is zero in every iteration, and the flow still produces a valid mapping.
+func TestDisabledThresholdChangesStopping(t *testing.T) {
+	net := smallNet()
+	cfg := DefaultConfig()
+	cfg.SkipPhysical = true
+	cfg.UtilizationThreshold = DisabledThreshold
+	res, err := Compile(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(net); err != nil {
+		t.Fatalf("assignment invalid with disabled threshold: %v", err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no ISC trace")
+	}
+}
+
+// TestRedesignDeviceMismatch pins the satellite bugfix: Redesign must refuse
+// a Config whose Device differs from the one the netlist was built with.
+func TestRedesignDeviceMismatch(t *testing.T) {
+	net := smallNet()
+	cfg := DefaultConfig()
+	res, err := Compile(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Device.MemristorPitch *= 2
+	err = res.Redesign(other)
+	if err == nil {
+		t.Fatal("Redesign accepted a different device model")
+	}
+	if !strings.Contains(err.Error(), "device model") {
+		t.Fatalf("error %q does not mention the device model", err)
+	}
+	// The matching device still redesigns fine.
+	if err := res.Redesign(cfg); err != nil {
+		t.Fatalf("Redesign with the original device failed: %v", err)
+	}
+}

@@ -74,6 +74,10 @@ func compileSummary(t *testing.T, gc goldenCase, workers int) []byte {
 	cfg.Seed = gc.Seed
 	cfg.SkipPhysical = true
 	cfg.Workers = workers
+	// Observers are passive: attaching one must not move a single bit of the
+	// golden summaries. Compiling every golden case with a live observer
+	// enforces that here, not just in prose.
+	cfg.Observer = &autoncs.MetricsObserver{}
 	res, err := autoncs.Compile(net, cfg)
 	if err != nil {
 		t.Fatalf("compile %s (workers=%d): %v", gc.Name, workers, err)

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/kmeans"
 	"repro/internal/matrix"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/xbar"
 )
@@ -465,6 +467,10 @@ type ISCOptions struct {
 	// package default (runtime.NumCPU() unless overridden); negative is
 	// rejected. The clustering is bit-identical for every worker count.
 	Workers int
+	// Observer, when non-nil, receives an obs.ISCIteration event after
+	// every round of the loop. Observers are passive: they cannot change
+	// the clustering.
+	Observer obs.Observer
 }
 
 func (o *ISCOptions) normalize() error {
@@ -477,13 +483,13 @@ func (o *ISCOptions) normalize() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("core: negative worker count %d", o.Workers)
 	}
-	if o.UtilizationThreshold < 0 || o.UtilizationThreshold > 1 {
+	if math.IsNaN(o.UtilizationThreshold) || o.UtilizationThreshold < 0 || o.UtilizationThreshold > 1 {
 		return fmt.Errorf("core: utilization threshold %g out of [0,1]", o.UtilizationThreshold)
 	}
 	if o.SelectionQuantile == 0 {
 		o.SelectionQuantile = 0.75
 	}
-	if o.SelectionQuantile > 1 {
+	if math.IsNaN(o.SelectionQuantile) || o.SelectionQuantile > 1 {
 		return fmt.Errorf("core: selection quantile %g out of range", o.SelectionQuantile)
 	}
 	if o.MaxIterations == 0 {
@@ -501,6 +507,16 @@ func (o *ISCOptions) normalize() error {
 // crossbar, when placed-crossbar utilization falls below the threshold, or
 // when no connections remain; whatever is left becomes discrete synapses.
 func ISC(w *graph.Conn, opts ISCOptions) (*ISCResult, error) {
+	return ISCCtx(context.Background(), w, opts)
+}
+
+// ISCCtx is ISC under a context: cancellation is checked at the top of
+// every iteration (the loop returns a wrapped ctx.Err() within one round of
+// the cancel), and opts.Observer — if set — receives one obs.ISCIteration
+// event per round. Neither the context check nor the observer can perturb
+// the clustering: with an uncancelled context the result is bit-identical
+// to ISC without an observer.
+func ISCCtx(ctx context.Context, w *graph.Conn, opts ISCOptions) (*ISCResult, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
 	}
@@ -510,11 +526,27 @@ func ISC(w *graph.Conn, opts ISCOptions) (*ISCResult, error) {
 	remaining := w.Clone()
 	assign := &xbar.Assignment{N: w.N(), Total: total}
 	var trace []Iteration
+	// record appends one finished round to the trace and tells the observer.
+	record := func(it Iteration, clusters int) {
+		trace = append(trace, it)
+		obs.Emit(opts.Observer, obs.ISCIteration{
+			Index:          it.Index,
+			Clusters:       clusters,
+			Placed:         it.Placed,
+			QuartileCP:     it.QuartileCP,
+			AvgUtilization: it.AvgUtilization,
+			Threshold:      opts.UtilizationThreshold,
+			OutlierRatio:   it.OutlierRatio,
+		})
+	}
 
 	// One scratch for the whole loop: every iteration's spectral restriction,
 	// Lanczos solve, and k-means passes draw from the same grown-once buffers.
 	sc := &scratch{}
 	for iter := 1; iter <= opts.MaxIterations && remaining.NNZ() > 0; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: ISC cancelled before iteration %d: %w", iter, err)
+		}
 		clusters, err := gcpN(remaining, lib.Max(), rng, workers, sc)
 		if err != nil {
 			return nil, err
@@ -542,7 +574,7 @@ func ISC(w *graph.Conn, opts ISCOptions) (*ISCResult, error) {
 			// No cluster holds any connections worth a crossbar.
 			it.Clusters = stats
 			it.OutlierRatio = outlierRatio(remaining, total)
-			trace = append(trace, it)
+			record(it, len(clusters))
 			break
 		}
 		// Stop when the quartile cluster has degenerated below the
@@ -550,7 +582,7 @@ func ISC(w *graph.Conn, opts ISCOptions) (*ISCResult, error) {
 		if sizeAtCP(stats, q) < lib.Min() {
 			it.Clusters = stats
 			it.OutlierRatio = outlierRatio(remaining, total)
-			trace = append(trace, it)
+			record(it, len(clusters))
 			break
 		}
 		sumU, sumCP := 0.0, 0.0
@@ -578,7 +610,7 @@ func ISC(w *graph.Conn, opts ISCOptions) (*ISCResult, error) {
 		}
 		it.Clusters = stats
 		it.OutlierRatio = outlierRatio(remaining, total)
-		trace = append(trace, it)
+		record(it, len(clusters))
 		if it.Placed == 0 || it.AvgUtilization < opts.UtilizationThreshold {
 			break
 		}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -158,13 +159,19 @@ type IterationView struct {
 	RemainingView string // ASCII render of the remaining network
 }
 
-// Figure56 traces ISC on an n-neuron sparse network.
+// Figure56 traces ISC on an n-neuron sparse network. It is Figure56Ctx
+// under context.Background().
 func Figure56(n int, seed int64, render bool) (*Figure56Result, error) {
+	return Figure56Ctx(context.Background(), n, seed, render)
+}
+
+// Figure56Ctx is Figure56 with cooperative cancellation of the ISC loop.
+func Figure56Ctx(ctx context.Context, n int, seed int64, render bool) (*Figure56Result, error) {
 	cm := SparseNet(n, seed)
 	lib := xbar.DefaultLibrary()
 	baseline := xbar.FullCro(cm, lib).AvgUtilization()
 	remaining := cm.Clone()
-	res, err := core.ISC(cm, core.ISCOptions{
+	res, err := core.ISCCtx(ctx, cm, core.ISCOptions{
 		Library:              lib,
 		UtilizationThreshold: baseline,
 		Rand:                 rand.New(rand.NewSource(seed)),
@@ -222,13 +229,19 @@ type ISCAnalysis struct {
 	BaselineAvgUtil float64
 }
 
-// FigureISC runs the analysis for the given testbench configuration.
+// FigureISC runs the analysis for the given testbench configuration. It is
+// FigureISCCtx under context.Background().
 func FigureISC(tb hopfield.Testbench, seed int64) (*ISCAnalysis, error) {
+	return FigureISCCtx(context.Background(), tb, seed)
+}
+
+// FigureISCCtx is FigureISC with cooperative cancellation of the ISC loop.
+func FigureISCCtx(ctx context.Context, tb hopfield.Testbench, seed int64) (*ISCAnalysis, error) {
 	cm, _, _ := tb.Build(seed)
 	lib := xbar.DefaultLibrary()
 	full := xbar.FullCro(cm, lib)
 	baseline := full.AvgUtilization()
-	res, err := core.ISC(cm, core.ISCOptions{
+	res, err := core.ISCCtx(ctx, cm, core.ISCOptions{
 		Library:              lib,
 		UtilizationThreshold: baseline,
 		Rand:                 rand.New(rand.NewSource(seed)),
@@ -296,17 +309,18 @@ type Table1Result struct {
 	}
 }
 
-// designOf runs netlist → place → route → cost for an assignment.
-func designOf(a *xbar.Assignment, dev xbar.DeviceModel) (*cost.Report, *netlist.Netlist, *place.Result, *route.Result, error) {
+// designOf runs netlist → place → route → cost for an assignment, honouring
+// ctx in the place and route loops.
+func designOf(ctx context.Context, a *xbar.Assignment, dev xbar.DeviceModel) (*cost.Report, *netlist.Netlist, *place.Result, *route.Result, error) {
 	nl, err := netlist.Build(a, dev)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	pl, err := place.Place(nl, place.DefaultOptions())
+	pl, err := place.PlaceCtx(ctx, nl, place.DefaultOptions())
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	rt, err := route.Route(nl, pl, route.DefaultOptions())
+	rt, err := route.RouteCtx(ctx, nl, pl, route.DefaultOptions())
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -317,13 +331,20 @@ func designOf(a *xbar.Assignment, dev xbar.DeviceModel) (*cost.Report, *netlist.
 	return rep, nl, pl, rt, nil
 }
 
-// Table1Bench evaluates one testbench configuration (scaled or full).
+// Table1Bench evaluates one testbench configuration (scaled or full). It is
+// Table1BenchCtx under context.Background().
 func Table1Bench(tb hopfield.Testbench, seed int64) (*Table1Row, error) {
+	return Table1BenchCtx(context.Background(), tb, seed)
+}
+
+// Table1BenchCtx is Table1Bench with cooperative cancellation of the ISC,
+// placement, and routing loops.
+func Table1BenchCtx(ctx context.Context, tb hopfield.Testbench, seed int64) (*Table1Row, error) {
 	cm, _, _ := tb.Build(seed)
 	lib := xbar.DefaultLibrary()
 	dev := xbar.Default45nm()
 	full := xbar.FullCro(cm, lib)
-	iscRes, err := core.ISC(cm, core.ISCOptions{
+	iscRes, err := core.ISCCtx(ctx, cm, core.ISCOptions{
 		Library:              lib,
 		UtilizationThreshold: full.AvgUtilization(),
 		Rand:                 rand.New(rand.NewSource(seed)),
@@ -331,11 +352,11 @@ func Table1Bench(tb hopfield.Testbench, seed int64) (*Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	autoRep, _, _, _, err := designOf(iscRes.Assignment, dev)
+	autoRep, _, _, _, err := designOf(ctx, iscRes.Assignment, dev)
 	if err != nil {
 		return nil, err
 	}
-	fullRep, _, _, _, err := designOf(full, dev)
+	fullRep, _, _, _, err := designOf(ctx, full, dev)
 	if err != nil {
 		return nil, err
 	}
@@ -346,11 +367,18 @@ func Table1Bench(tb hopfield.Testbench, seed int64) (*Table1Row, error) {
 	return row, nil
 }
 
-// Table1 evaluates the given testbenches and averages the reductions.
+// Table1 evaluates the given testbenches and averages the reductions. It is
+// Table1Ctx under context.Background().
 func Table1(tbs []hopfield.Testbench, seed int64) (*Table1Result, error) {
+	return Table1Ctx(context.Background(), tbs, seed)
+}
+
+// Table1Ctx is Table1 with cooperative cancellation between and within
+// testbench evaluations.
+func Table1Ctx(ctx context.Context, tbs []hopfield.Testbench, seed int64) (*Table1Result, error) {
 	out := &Table1Result{}
 	for _, tb := range tbs {
-		row, err := Table1Bench(tb, seed)
+		row, err := Table1BenchCtx(ctx, tb, seed)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: testbench %d: %w", tb.ID, err)
 		}
@@ -392,13 +420,20 @@ type Figure10Result struct {
 }
 
 // Figure10 places and routes both designs of the given testbench and
-// renders Figure 10's four panels.
+// renders Figure 10's four panels. It is Figure10Ctx under
+// context.Background().
 func Figure10(tb hopfield.Testbench, seed int64) (*Figure10Result, error) {
+	return Figure10Ctx(context.Background(), tb, seed)
+}
+
+// Figure10Ctx is Figure10 with cooperative cancellation of the ISC,
+// placement, and routing loops.
+func Figure10Ctx(ctx context.Context, tb hopfield.Testbench, seed int64) (*Figure10Result, error) {
 	cm, _, _ := tb.Build(seed)
 	lib := xbar.DefaultLibrary()
 	dev := xbar.Default45nm()
 	full := xbar.FullCro(cm, lib)
-	iscRes, err := core.ISC(cm, core.ISCOptions{
+	iscRes, err := core.ISCCtx(ctx, cm, core.ISCOptions{
 		Library:              lib,
 		UtilizationThreshold: full.AvgUtilization(),
 		Rand:                 rand.New(rand.NewSource(seed)),
@@ -407,11 +442,11 @@ func Figure10(tb hopfield.Testbench, seed int64) (*Figure10Result, error) {
 		return nil, err
 	}
 	out := &Figure10Result{}
-	fullRep, fullNl, fullPl, fullRt, err := designOf(full, dev)
+	fullRep, fullNl, fullPl, fullRt, err := designOf(ctx, full, dev)
 	if err != nil {
 		return nil, err
 	}
-	autoRep, autoNl, autoPl, autoRt, err := designOf(iscRes.Assignment, dev)
+	autoRep, autoNl, autoPl, autoRt, err := designOf(ctx, iscRes.Assignment, dev)
 	if err != nil {
 		return nil, err
 	}

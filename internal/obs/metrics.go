@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Metrics is a thread-safe accumulating observer: it counts events, sums
+// per-stage wall time, and keeps the last record of each progress stream.
+// The zero value is ready to use. The flow delivers events sequentially,
+// but Metrics locks anyway so a monitoring goroutine may Snapshot it while
+// a compile is still running.
+type Metrics struct {
+	mu   sync.Mutex
+	snap MetricsSnapshot
+}
+
+// MetricsSnapshot is a point-in-time copy of everything a Metrics observer
+// has accumulated.
+type MetricsSnapshot struct {
+	Events         int // total events observed
+	Compiles       int // CompileStart events
+	ISCIterations  int
+	PlaceSteps     int // PlaceProgress checkpoints
+	RouteBatches   int
+	Relaxations    int // RouteRelaxation events
+	StageTimes     map[Stage]time.Duration
+	CompileElapsed time.Duration // total wall time of the last finished compile
+	LastISC        ISCIteration
+	LastPlace      PlaceProgress
+	LastRoute      RouteBatch
+	Err            error // error of the last StageEnd/CompileEnd that carried one
+}
+
+// Observe implements Observer.
+func (m *Metrics) Observe(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snap.Events++
+	switch e := e.(type) {
+	case CompileStart:
+		m.snap.Compiles++
+	case CompileEnd:
+		m.snap.CompileElapsed = e.Elapsed
+		if e.Err != nil {
+			m.snap.Err = e.Err
+		}
+	case StageEnd:
+		if m.snap.StageTimes == nil {
+			m.snap.StageTimes = make(map[Stage]time.Duration)
+		}
+		m.snap.StageTimes[e.Stage] += e.Elapsed
+		if e.Err != nil {
+			m.snap.Err = e.Err
+		}
+	case ISCIteration:
+		m.snap.ISCIterations++
+		m.snap.LastISC = e
+	case PlaceProgress:
+		m.snap.PlaceSteps++
+		m.snap.LastPlace = e
+	case RouteBatch:
+		m.snap.RouteBatches++
+		m.snap.LastRoute = e
+	case RouteRelaxation:
+		m.snap.Relaxations++
+	}
+}
+
+// Snapshot returns a copy of the accumulated state; the StageTimes map is
+// cloned so the caller may hold it across further events.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.snap
+	if m.snap.StageTimes != nil {
+		out.StageTimes = make(map[Stage]time.Duration, len(m.snap.StageTimes))
+		for k, v := range m.snap.StageTimes {
+			out.StageTimes[k] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package obs is the passive observation layer of the compile flow: typed
+// stage events that the pipeline emits as it runs, an Observer interface to
+// receive them, and two ready-made observers (a slog-backed structured
+// logger and a thread-safe metrics accumulator).
+//
+// Observers are strictly passive: they receive values that the flow has
+// already computed for its own purposes and can neither mutate flow state
+// nor perturb any floating-point result, so attaching one never changes a
+// compile — the bit-exact any-worker-count determinism contract and the
+// golden summaries hold with and without observation.
+//
+// Every event is delivered sequentially from the flow's single control
+// goroutine (never from inside a worker pool), so an Observer implementation
+// only needs internal synchronization if its own readers are concurrent.
+package obs
+
+import "time"
+
+// Stage names one pipeline stage of the compile flow.
+type Stage string
+
+// The stages of the full AutoNCS flow, in execution order.
+const (
+	StageClustering Stage = "clustering"
+	StageNetlist    Stage = "netlist"
+	StagePlace      Stage = "place"
+	StageRoute      Stage = "route"
+	StageCost       Stage = "cost"
+)
+
+// Stages lists every stage in execution order, for deterministic iteration
+// over per-stage maps.
+func Stages() []Stage {
+	return []Stage{StageClustering, StageNetlist, StagePlace, StageRoute, StageCost}
+}
+
+// Event is one typed observation from the compile flow. The concrete types
+// below form a closed set; switch on them to consume.
+type Event interface{ event() }
+
+// CompileStart opens a compile: the input network and the worker knob.
+type CompileStart struct {
+	Neurons     int
+	Connections int
+	Workers     int // the Config value: 0 means the process default
+}
+
+// CompileEnd closes a compile with its total wall time; Err is non-nil when
+// the flow failed (including cancellation).
+type CompileEnd struct {
+	Elapsed time.Duration
+	Err     error
+}
+
+// StageStart marks a pipeline stage beginning.
+type StageStart struct {
+	Stage Stage
+}
+
+// StageEnd marks a pipeline stage finishing with its wall time; Err is
+// non-nil when the stage failed.
+type StageEnd struct {
+	Stage   Stage
+	Elapsed time.Duration
+	Err     error
+}
+
+// ISCIteration records one round of the iterative spectral clustering loop:
+// how many candidate clusters the round formed, the CP quartile selection
+// threshold, how many crossbars were realized, and the placed-crossbar
+// utilization against the stop threshold.
+type ISCIteration struct {
+	Index          int     // 1-based iteration number
+	Clusters       int     // candidate clusters formed this round
+	Placed         int     // crossbars realized this round
+	QuartileCP     float64 // the CP selection threshold q
+	AvgUtilization float64 // mean utilization of the crossbars placed
+	Threshold      float64 // the stop threshold t the utilization is judged against
+	OutlierRatio   float64 // remaining connections / total, after this round
+}
+
+// PlaceProgress records one progress checkpoint of the placement λ loop
+// (every overlap evaluation, several per outer λ round): the current outer
+// round, the penalty weight λ, the exact weighted HPWL, and the remaining
+// physical overlap area.
+type PlaceProgress struct {
+	Outer   int     // 0-based outer λ round
+	Step    int     // 1-based optimizer step within the budget
+	Lambda  float64 // current density penalty weight
+	HPWL    float64 // exact weighted HPWL at this checkpoint, µm
+	Overlap float64 // total pairwise physical overlap area, µm²
+}
+
+// RouteBatch records one committed batch of the speculative maze router.
+type RouteBatch struct {
+	Batch     int // 1-based batch counter across the whole route
+	Wires     int // wires speculatively searched in this batch
+	Committed int // paths that fit and committed
+	Retried   int // paths invalidated by a batch-mate, re-queued
+	Failed    int // wires with no path under the current capacity
+	Capacity  int // the virtual capacity the batch ran under
+}
+
+// RouteRelaxation records one capacity relaxation: the router raised the
+// virtual edge capacity to re-route the wires that failed.
+type RouteRelaxation struct {
+	Relaxations int // total relaxations so far (1-based)
+	Capacity    int // the new virtual capacity
+	Pending     int // wires awaiting re-route under the new capacity
+}
+
+func (CompileStart) event()    {}
+func (CompileEnd) event()      {}
+func (StageStart) event()      {}
+func (StageEnd) event()        {}
+func (ISCIteration) event()    {}
+func (PlaceProgress) event()   {}
+func (RouteBatch) event()      {}
+func (RouteRelaxation) event() {}
+
+// Observer receives the flow's events. Implementations must not block for
+// long (they run on the flow's control goroutine) and must not assume any
+// call concurrency — the flow delivers events one at a time.
+type Observer interface {
+	Observe(Event)
+}
+
+// Emit delivers e to o, tolerating a nil observer so call sites need no
+// guard.
+func Emit(o Observer, e Event) {
+	if o != nil {
+		o.Observe(e)
+	}
+}
+
+// multi fans every event out to a fixed observer list, in order.
+type multi []Observer
+
+func (m multi) Observe(e Event) {
+	for _, o := range m {
+		o.Observe(e)
+	}
+}
+
+// Multi combines observers into one that forwards every event to each
+// non-nil observer in argument order. Nil arguments are dropped; with zero
+// live observers it returns nil (which Emit ignores).
+func Multi(os ...Observer) Observer {
+	var live multi
+	for _, o := range os {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder collects event type order for assertions.
+type recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *recorder) Observe(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+func TestEmitNilObserver(t *testing.T) {
+	Emit(nil, CompileStart{}) // must not panic
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() of nothing should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	a, b := &recorder{}, &recorder{}
+	if got := Multi(nil, a); got != a {
+		t.Error("Multi with one live observer should return it unwrapped")
+	}
+	m := Multi(a, nil, b)
+	m.Observe(StageStart{Stage: StagePlace})
+	m.Observe(StageEnd{Stage: StagePlace})
+	if len(a.events) != 2 || len(b.events) != 2 {
+		t.Errorf("fan-out missed events: a=%d b=%d", len(a.events), len(b.events))
+	}
+}
+
+func TestMetricsAccumulation(t *testing.T) {
+	m := &Metrics{}
+	failure := errors.New("boom")
+	events := []Event{
+		CompileStart{Neurons: 100, Connections: 500, Workers: 4},
+		StageStart{Stage: StageClustering},
+		ISCIteration{Index: 1, Clusters: 7, Placed: 5},
+		ISCIteration{Index: 2, Clusters: 4, Placed: 2},
+		StageEnd{Stage: StageClustering, Elapsed: 3 * time.Second},
+		StageStart{Stage: StagePlace},
+		PlaceProgress{Outer: 0, Step: 20, Lambda: 0.5},
+		StageEnd{Stage: StagePlace, Elapsed: time.Second},
+		StageStart{Stage: StageRoute},
+		RouteBatch{Batch: 1, Wires: 16, Committed: 16, Capacity: 8},
+		RouteRelaxation{Relaxations: 1, Capacity: 9, Pending: 2},
+		StageEnd{Stage: StageRoute, Elapsed: 2 * time.Second, Err: failure},
+		CompileEnd{Elapsed: 6 * time.Second, Err: failure},
+	}
+	for _, e := range events {
+		m.Observe(e)
+	}
+	s := m.Snapshot()
+	if s.Events != len(events) {
+		t.Errorf("Events = %d, want %d", s.Events, len(events))
+	}
+	if s.Compiles != 1 || s.ISCIterations != 2 || s.PlaceSteps != 1 ||
+		s.RouteBatches != 1 || s.Relaxations != 1 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.StageTimes[StageClustering] != 3*time.Second || s.StageTimes[StageRoute] != 2*time.Second {
+		t.Errorf("stage times wrong: %v", s.StageTimes)
+	}
+	if s.LastISC.Index != 2 || s.LastISC.Clusters != 4 {
+		t.Errorf("LastISC = %+v", s.LastISC)
+	}
+	if s.CompileElapsed != 6*time.Second || !errors.Is(s.Err, failure) {
+		t.Errorf("CompileElapsed/Err wrong: %v %v", s.CompileElapsed, s.Err)
+	}
+	// Snapshot must be detached from further accumulation.
+	m.Observe(StageEnd{Stage: StageClustering, Elapsed: time.Second})
+	if s.StageTimes[StageClustering] != 3*time.Second {
+		t.Error("snapshot shares StageTimes map with live metrics")
+	}
+}
+
+func TestSlogObserverLevels(t *testing.T) {
+	var buf bytes.Buffer
+	ob := NewSlog(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo})))
+	ob.Observe(StageStart{Stage: StageClustering})
+	ob.Observe(ISCIteration{Index: 3, Clusters: 9, Placed: 4, QuartileCP: 1.5})
+	ob.Observe(PlaceProgress{Outer: 1, Step: 40}) // Debug: filtered at Info
+	ob.Observe(RouteBatch{Batch: 2, Wires: 16})   // Debug: filtered at Info
+	ob.Observe(StageEnd{Stage: StageClustering, Elapsed: time.Second, Err: errors.New("bad")})
+	out := buf.String()
+	for _, want := range []string{"stage start", "isc iteration", "iter=3", "stage end", "err=bad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+	for _, reject := range []string{"place progress", "route batch"} {
+		if strings.Contains(out, reject) {
+			t.Errorf("Info-level handler leaked debug event %q:\n%s", reject, out)
+		}
+	}
+	buf.Reset()
+	dbg := NewSlog(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	dbg.Observe(PlaceProgress{Outer: 1, Step: 40})
+	dbg.Observe(RouteBatch{Batch: 2, Wires: 16})
+	dbg.Observe(RouteRelaxation{Relaxations: 1, Capacity: 9, Pending: 3})
+	out = buf.String()
+	for _, want := range []string{"place progress", "route batch", "route relaxation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("debug log output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStagesOrder(t *testing.T) {
+	want := []Stage{StageClustering, StageNetlist, StagePlace, StageRoute, StageCost}
+	got := Stages()
+	if len(got) != len(want) {
+		t.Fatalf("Stages() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Stages()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

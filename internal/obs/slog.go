@@ -1,0 +1,57 @@
+package obs
+
+import "log/slog"
+
+// slogObserver renders events as structured log records. Coarse events
+// (compile start/end, stage boundaries, ISC iterations, capacity
+// relaxations) log at Info; high-frequency events (placement checkpoints,
+// route batches) log at Debug, so a handler at LevelInfo gives a readable
+// per-stage trace and one at LevelDebug the full firehose.
+type slogObserver struct {
+	l *slog.Logger
+}
+
+// NewSlog returns an Observer that logs every event through l. The -v flag
+// of the CLIs installs it with a LevelInfo stderr handler, -trace with
+// LevelDebug.
+func NewSlog(l *slog.Logger) Observer {
+	return slogObserver{l: l}
+}
+
+func (s slogObserver) Observe(e Event) {
+	switch e := e.(type) {
+	case CompileStart:
+		s.l.Info("compile start",
+			"neurons", e.Neurons, "connections", e.Connections, "workers", e.Workers)
+	case CompileEnd:
+		if e.Err != nil {
+			s.l.Info("compile end", "elapsed", e.Elapsed, "err", e.Err)
+		} else {
+			s.l.Info("compile end", "elapsed", e.Elapsed)
+		}
+	case StageStart:
+		s.l.Info("stage start", "stage", string(e.Stage))
+	case StageEnd:
+		if e.Err != nil {
+			s.l.Info("stage end", "stage", string(e.Stage), "elapsed", e.Elapsed, "err", e.Err)
+		} else {
+			s.l.Info("stage end", "stage", string(e.Stage), "elapsed", e.Elapsed)
+		}
+	case ISCIteration:
+		s.l.Info("isc iteration",
+			"iter", e.Index, "clusters", e.Clusters, "placed", e.Placed,
+			"quartileCP", e.QuartileCP, "avgUtil", e.AvgUtilization,
+			"threshold", e.Threshold, "outliers", e.OutlierRatio)
+	case PlaceProgress:
+		s.l.Debug("place progress",
+			"outer", e.Outer, "step", e.Step, "lambda", e.Lambda,
+			"hpwl", e.HPWL, "overlap", e.Overlap)
+	case RouteBatch:
+		s.l.Debug("route batch",
+			"batch", e.Batch, "wires", e.Wires, "committed", e.Committed,
+			"retried", e.Retried, "failed", e.Failed, "capacity", e.Capacity)
+	case RouteRelaxation:
+		s.l.Info("route relaxation",
+			"relaxations", e.Relaxations, "capacity", e.Capacity, "pending", e.Pending)
+	}
+}

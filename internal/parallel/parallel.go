@@ -111,6 +111,67 @@ func For(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForCtx is For with cooperative cancellation: the serial path checks ctx
+// before every index and the worker loops re-check it between strides, so a
+// cancelled context stops the sweep within one stride. It returns ctx.Err()
+// when the context was cancelled (some indices may then never have been
+// evaluated — callers must discard partial results) and nil otherwise; an
+// uncancelled ForCtx evaluates exactly the same index set as For, keeping
+// the determinism contract intact.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	stride := n / (workers * 8)
+	if stride < 1 {
+		stride = 1
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				lo := int(next.Add(int64(stride))) - stride
+				if lo >= n {
+					return
+				}
+				hi := lo + stride
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// MapCtx evaluates fn(i) for i in [0, n) in parallel with cooperative
+// cancellation and returns the results in index order, or (nil, ctx.Err())
+// if the context was cancelled before the sweep completed.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	if err := ForCtx(ctx, workers, n, func(i int) { out[i] = fn(i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ForChunks partitions [0, n) into chunks of the given fixed size and
 // evaluates fn(c, lo, hi) for each chunk c covering [lo, hi). Chunk
 // boundaries depend only on n and chunk — never on workers — so per-chunk

@@ -147,3 +147,57 @@ func TestDeterministicReduction(t *testing.T) {
 		}
 	}
 }
+
+func TestForCtxCoversEveryIndexOnce(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, n := range []int{0, 1, 7, 100, 1025} {
+			hits := make([]int32, n)
+			if err := ForCtx(ctx, workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) }); err != nil {
+				t.Fatalf("workers=%d n=%d: unexpected error %v", workers, n, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForCtxCancellationStopsSweep(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var done atomic.Int64
+		n := 100000
+		err := ForCtx(ctx, workers, n, func(i int) {
+			if done.Add(1) == 10 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := done.Load(); got >= int64(n) {
+			t.Fatalf("workers=%d: sweep ran to completion (%d indices) despite cancellation", workers, got)
+		}
+	}
+}
+
+func TestMapCtx(t *testing.T) {
+	out, err := MapCtx(context.Background(), 4, 50, func(i int) int { return i * i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MapCtx(ctx, 4, 50, func(i int) int { return i }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled MapCtx err = %v", err)
+	}
+}

@@ -17,12 +17,14 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/matrix"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Options tunes the placer. The zero value is invalid; use DefaultOptions.
@@ -46,6 +48,12 @@ type Options struct {
 	MaxOuter int
 	// CGIterations bounds the conjugate-gradient steps per λ round.
 	CGIterations int
+	// Observer, when non-nil, receives an obs.PlaceProgress event at every
+	// overlap checkpoint of the λ loop (several per outer round). Observers
+	// are passive: the values they see are the ones the loop computes for
+	// its own convergence check, so attaching one never changes the
+	// placement.
+	Observer obs.Observer
 }
 
 // DefaultOptions returns the parameter set used by the experiments.
@@ -107,6 +115,14 @@ func (r *Result) Area() float64 { return r.Width() * r.Height() }
 
 // Place runs Algorithm 4 on the netlist and returns a legalized placement.
 func Place(nl *netlist.Netlist, opts Options) (*Result, error) {
+	return PlaceCtx(context.Background(), nl, opts)
+}
+
+// PlaceCtx is Place under a context: cancellation is checked at every
+// overlap checkpoint of the λ loop and once more before legalization, so a
+// cancel returns a wrapped ctx.Err() well within one outer λ round. An
+// uncancelled PlaceCtx is bit-identical to Place.
+func PlaceCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -147,8 +163,19 @@ func Place(nl *netlist.Netlist, opts Options) (*Result, error) {
 			lambda *= growth
 			if iter%checkEvery == checkEvery-1 {
 				p.outer = iter / opts.CGIterations
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("place: cancelled in λ round %d: %w", p.outer, err)
+				}
 				ov := p.physicalOverlap(p.pos)
-				proxy := p.weightedHPWL() * (1 + ov/p.totalArea)
+				hpwl := p.weightedHPWL()
+				proxy := hpwl * (1 + ov/p.totalArea)
+				obs.Emit(opts.Observer, obs.PlaceProgress{
+					Outer:   p.outer,
+					Step:    iter + 1,
+					Lambda:  lambda,
+					HPWL:    hpwl,
+					Overlap: ov,
+				})
 				if proxy < bestProxy {
 					bestProxy = proxy
 					copy(best, p.pos)
@@ -159,6 +186,9 @@ func Place(nl *netlist.Netlist, opts Options) (*Result, error) {
 			}
 		}
 		copy(p.pos, best)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("place: cancelled before legalization: %w", err)
 	}
 	globalHPWL := p.weightedHPWL()
 	p.legalize()

@@ -15,12 +15,14 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/place"
 )
@@ -47,6 +49,10 @@ type Options struct {
 	// Workers bounds the goroutines running a batch's maze searches.
 	// Zero means the parallel package default; negative is rejected.
 	Workers int
+	// Observer, when non-nil, receives an obs.RouteBatch event after every
+	// committed batch and an obs.RouteRelaxation event at every capacity
+	// relaxation. Observers are passive: they cannot change the routing.
+	Observer obs.Observer
 }
 
 // defaultBatchSize balances maze-search parallelism against the fidelity of
@@ -368,6 +374,14 @@ func (g *grid) fits(path []int, capacity int) bool {
 // (heavier first). Wires that cannot be routed under the current virtual
 // capacity trigger a capacity relaxation and are rerouted.
 func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error) {
+	return RouteCtx(context.Background(), nl, pl, opts)
+}
+
+// RouteCtx is Route under a context: cancellation is checked at the top of
+// every batch and between the strides of a batch's parallel maze searches,
+// so a cancel returns a wrapped ctx.Err() within one route batch. An
+// uncancelled RouteCtx is bit-identical to Route.
+func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -423,10 +437,14 @@ func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error)
 	}
 	states := sync.Pool{New: func() interface{} { return new(searchState) }}
 	pending := order
+	batchNo := 0
 	for len(pending) > 0 {
 		var failed []int // no path under the current capacity: relaxation candidates
 		queue := pending
 		for len(queue) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("route: cancelled before batch %d: %w", batchNo+1, err)
+			}
 			b := batch
 			if b > len(queue) {
 				b = len(queue)
@@ -440,7 +458,7 @@ func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error)
 			// scratch comes from the state pool — which state a search gets
 			// never affects its result (begin() invalidates all prior
 			// entries), so pooling preserves the determinism contract.
-			spec := parallel.Map(workers, b, func(i int) []int {
+			spec, err := parallel.MapCtx(ctx, workers, b, func(i int) []int {
 				if src[cur[i]] == dst[cur[i]] {
 					return nil // same-bin wires route directly at commit
 				}
@@ -449,11 +467,16 @@ func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error)
 				states.Put(st)
 				return path
 			})
+			if err != nil {
+				return nil, fmt.Errorf("route: cancelled in batch %d: %w", batchNo+1, err)
+			}
 			// Commit in wire order. A path invalidated by a batch-mate's
 			// commit is re-queued ahead of the untried wires; the first
 			// wire of a batch always commits, so every batch makes
 			// progress.
 			var retry []int
+			batchNo++
+			committed, failedBefore := 0, len(failed)
 			for i, wi := range cur {
 				w := nl.Wires[wi]
 				if src[wi] == dst[wi] {
@@ -462,6 +485,7 @@ func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error)
 					res.WireLength[wi] = math.Max(
 						math.Abs(pl.X[w.From]-pl.X[w.To])+math.Abs(pl.Y[w.From]-pl.Y[w.To]),
 						opts.Theta/2)
+					committed++
 					continue
 				}
 				path := spec[i]
@@ -476,7 +500,16 @@ func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error)
 				g.commit(path)
 				paths[wi] = path
 				res.WireLength[wi] = float64(len(path)-1) * opts.Theta
+				committed++
 			}
+			obs.Emit(opts.Observer, obs.RouteBatch{
+				Batch:     batchNo,
+				Wires:     b,
+				Committed: committed,
+				Retried:   len(retry),
+				Failed:    len(failed) - failedBefore,
+				Capacity:  capacity,
+			})
 			if len(retry) > 0 {
 				queue = append(retry, queue...)
 			}
@@ -490,6 +523,11 @@ func Route(nl *netlist.Netlist, pl *place.Result, opts Options) (*Result, error)
 		}
 		capacity++
 		res.Relaxations++
+		obs.Emit(opts.Observer, obs.RouteRelaxation{
+			Relaxations: res.Relaxations,
+			Capacity:    capacity,
+			Pending:     len(failed),
+		})
 		pending = failed
 	}
 	res.FinalCapacity = capacity
