@@ -8,7 +8,7 @@ BENCH_NEW ?= bench_new.txt
 # -benchtime=1x; raise the count for tighter confidence intervals.
 BENCH_COUNT ?= 6
 
-.PHONY: all build vet test test-race fuzz bench bench-save bench-compare bench-large golden-update clean
+.PHONY: all build vet test test-race lint fuzz serve e2e bench bench-save bench-compare bench-large golden-update clean
 
 all: build vet test
 
@@ -26,10 +26,29 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# Short fuzz pass over the network-format parser (satellite of the
-# regression harness; CI runs the seed corpus via plain `go test`).
+# The same static-analysis gate CI's lint job runs (.golangci.yml pins the
+# linter set). golangci-lint is optional local tooling.
+lint:
+	@command -v golangci-lint >/dev/null 2>&1 || { \
+		echo "golangci-lint not found; install from https://golangci-lint.run or rely on the CI lint job"; exit 1; }
+	golangci-lint run ./...
+
+# Short fuzz passes over the attacker-facing surfaces: the network-format
+# parser and the cache-key derivation (CI's fuzz-smoke job runs the same
+# two targets; plain `go test` replays only the seed corpus).
 fuzz:
-	$(GO) test -fuzz=FuzzLoad -fuzztime=30s ./internal/graph/
+	$(GO) test -fuzz=FuzzLoad -fuzztime=30s -run '^$$' ./internal/graph/
+	$(GO) test -fuzz=FuzzCanonicalHash -fuzztime=30s -run '^$$' .
+
+# Run the compile daemon locally (ephemeral port, verbose logging).
+serve:
+	$(GO) run ./cmd/autoncsd -addr 127.0.0.1:0 -v
+
+# The daemon end-to-end suite against a freshly built binary — cache hits
+# bit-identical, 429 beyond capacity, SIGTERM drain.
+e2e:
+	$(GO) build -o /tmp/autoncsd ./cmd/autoncsd
+	AUTONCSD_BIN=/tmp/autoncsd $(GO) test -v -timeout 15m -run TestDaemon ./cmd/autoncsd/
 
 # -short skips the 2000-neuron benchmarks (minutes per op); see bench-large.
 bench:

@@ -131,6 +131,10 @@ func RandomSparseNetwork(n int, sparsity float64, seed int64) *Network {
 // DefaultLibrary returns the paper's crossbar sizes, 16..64 step 4.
 func DefaultLibrary() Library { return xbar.DefaultLibrary() }
 
+// NewLibrary builds a crossbar library from the given sizes (positive,
+// deduplicated, sorted ascending).
+func NewLibrary(sizes ...int) (Library, error) { return xbar.NewLibrary(sizes...) }
+
 // Default45nm returns the calibrated 45 nm device model.
 func Default45nm() DeviceModel { return xbar.Default45nm() }
 

@@ -1,0 +1,159 @@
+// Package client is the Go client of the autoncsd compile service and the
+// authoritative definition of its JSON wire contract. The types here are
+// shared by the server (internal/server), the remote mode of cmd/autoncs,
+// and the end-to-end tests; docs/server.md documents the same contract for
+// non-Go callers.
+package client
+
+import "encoding/json"
+
+// CompileRequest is the body of POST /v1/compile. Exactly one network
+// source (Net, Random, or Testbench) must be set; the remaining fields are
+// the flow knobs a remote caller may tune — everything else runs with
+// autoncs.DefaultConfig. Zero values mean the same defaults as the
+// library: Seed 0 is normalized to 1 (DefaultConfig's seed) so the
+// "default compile" of a given network has one cache key, not two.
+type CompileRequest struct {
+	// Net is the network in the autoncs-net v1 text format.
+	Net string `json:"net,omitempty"`
+	// Random generates a random symmetric sparse network server-side.
+	Random *RandomSpec `json:"random,omitempty"`
+	// Testbench selects one of the paper's Hopfield benchmarks (1-3),
+	// built server-side with Seed.
+	Testbench int `json:"testbench,omitempty"`
+
+	// Seed drives the flow's randomized steps (and testbench training).
+	Seed int64 `json:"seed,omitempty"`
+	// SelectionQuantile is Config.SelectionQuantile (0 = paper's 0.75,
+	// negative disables partial selection).
+	SelectionQuantile float64 `json:"selection_quantile,omitempty"`
+	// UtilizationThreshold is Config.UtilizationThreshold (0 = auto,
+	// negative disables the stopping rule).
+	UtilizationThreshold float64 `json:"utilization_threshold,omitempty"`
+	// SkipPhysical stops after clustering.
+	SkipPhysical bool `json:"skip_physical,omitempty"`
+	// FullCro runs the paper's maximum-size-crossbar baseline flow
+	// instead of ISC. Baseline results are cached under their own keys.
+	FullCro bool `json:"full_cro,omitempty"`
+}
+
+// RandomSpec describes a server-side generated random sparse network.
+type RandomSpec struct {
+	N        int     `json:"n"`
+	Sparsity float64 `json:"sparsity"`
+	Seed     int64   `json:"seed"`
+}
+
+// Job states, in lifecycle order.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobStatus is the body of GET /v1/jobs/{id} and of the POST /v1/compile
+// response.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Key is the content address of the compile (lowercase hex); two jobs
+	// with the same key are the same computation.
+	Key string `json:"key"`
+	// Cached reports that the job was answered from the result cache
+	// without running the flow.
+	Cached bool `json:"cached"`
+	// Error is set when State is failed or cancelled.
+	Error string `json:"error,omitempty"`
+
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// ElapsedSeconds is the compile wall time (0 for cache hits).
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	// StageTimes breaks ElapsedSeconds down by pipeline stage.
+	StageTimes map[string]float64 `json:"stage_times_seconds,omitempty"`
+
+	// ResultURL points at GET /v1/results/{id} once State is done.
+	ResultURL string `json:"result_url,omitempty"`
+	// Result is the full result payload, embedded when the request asked
+	// to wait (POST /v1/compile?wait=1) and the job finished.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Result is the body of GET /v1/results/{id}: the deterministic portion of
+// an autoncs compile. It deliberately carries no wall times — the payload
+// is the unit of content-addressed caching, so its bytes must be a pure
+// function of the compile inputs (timings live on JobStatus instead).
+type Result struct {
+	Key         string `json:"key"`
+	Neurons     int    `json:"neurons"`
+	Connections int    `json:"connections"`
+
+	Crossbars      int     `json:"crossbars"`
+	Synapses       int     `json:"synapses"`
+	OutlierRatio   float64 `json:"outlier_ratio"`
+	AvgUtilization float64 `json:"avg_utilization"`
+	AvgPreference  float64 `json:"avg_preference"`
+	ISCIterations  int     `json:"isc_iterations"`
+	// SizeHistogram maps crossbar size (as a decimal string, JSON object
+	// keys being strings) to instance count.
+	SizeHistogram map[string]int `json:"size_histogram,omitempty"`
+
+	// Report is the physical-design cost report (absent with
+	// skip_physical).
+	Report *Report `json:"report,omitempty"`
+
+	// Assignment is the full hybrid mapping in the xbar JSON schema (the
+	// same format cmd/autoncs -dump writes).
+	Assignment json.RawMessage `json:"assignment"`
+}
+
+// Report mirrors autoncs.CostReport on the wire.
+type Report struct {
+	Wirelength float64 `json:"wirelength_um"`
+	Area       float64 `json:"area_um2"`
+	AvgDelay   float64 `json:"avg_delay_ns"`
+	MaxDelay   float64 `json:"max_delay_ns"`
+	Cost       float64 `json:"cost"`
+	Wires      int     `json:"wires"`
+}
+
+// Metrics is the body of GET /metrics: the serving counters plus the
+// aggregated internal/obs flow metrics.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	WorkerSlots   int `json:"worker_slots"`
+	QueueCapacity int `json:"queue_capacity"`
+	QueueDepth    int `json:"queue_depth"`
+	InFlight      int `json:"in_flight"`
+
+	JobsAccepted  int64 `json:"jobs_accepted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsFailed    int64 `json:"jobs_failed"`
+	JobsCancelled int64 `json:"jobs_cancelled"`
+	JobsRejected  int64 `json:"jobs_rejected"`
+
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+
+	// Compiles and StageSeconds aggregate the flow's own observer stream
+	// (internal/obs) across every job the daemon has run.
+	Compiles     int                `json:"compiles"`
+	StageSeconds map[string]float64 `json:"stage_seconds"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// errorBody is the JSON envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -7,20 +7,28 @@
 //	autoncs -testbench 3            # one of the paper's Hopfield benches
 //	autoncs -n 400 -sparsity 0.94   # a random sparse network
 //	autoncs -testbench 2 -baseline  # also run and compare against FullCro
+//
+// With -server URL the compile runs on an autoncsd instance instead of in
+// process: the network is built (or loaded) locally, shipped as text, and
+// the daemon's content-addressed cache answers repeated compiles instantly.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
+	"sort"
 	"text/tabwriter"
 	"time"
 
 	"repro"
+	"repro/client"
 	"repro/internal/parallel"
 )
 
@@ -37,6 +45,7 @@ func main() {
 		savePath = flag.String("save", "", "save the generated network to a file before compiling")
 		dumpPath = flag.String("dump", "", "write the resulting hybrid assignment as JSON")
 		workers  = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
+		server   = flag.String("server", "", "compile on this autoncsd instance (e.g. http://127.0.0.1:8080) instead of in process")
 		verbose  = flag.Bool("v", false, "log stage boundaries and ISC iterations to stderr")
 		trace    = flag.Bool("trace", false, "log every flow event to stderr, including per-checkpoint placement progress and route batches (implies -v)")
 	)
@@ -82,6 +91,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("Saved network to %s\n\n", *savePath)
+	}
+
+	if *server != "" {
+		runRemote(ctx, *server, net, *seed, *quantile, *skipPhys, *baseline, *dumpPath)
+		return
 	}
 
 	cfg := autoncs.DefaultConfig()
@@ -181,6 +195,120 @@ func printResult(name string, res *autoncs.Result, showTimes bool) {
 		fmt.Print("crossbar sizes: ")
 		for _, s := range sizesOf(h) {
 			fmt.Printf("%d×%d:%d  ", s, s, h[s])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+// runRemote ships the locally built network to an autoncsd instance and
+// renders the returned result in the same shape as the local summary. The
+// daemon caches by content address, so rerunning the same command answers
+// from the cache (reported in the summary).
+func runRemote(ctx context.Context, url string, net *autoncs.Network, seed int64, quantile float64, skipPhys, baseline bool, dumpPath string) {
+	var buf bytes.Buffer
+	if err := net.Write(&buf); err != nil {
+		fmt.Fprintln(os.Stderr, "remote: encoding network:", err)
+		os.Exit(1)
+	}
+	req := client.CompileRequest{
+		Net:               buf.String(),
+		Seed:              seed,
+		SelectionQuantile: quantile,
+		SkipPhysical:      skipPhys,
+	}
+	c := client.New(url)
+
+	auto := remoteCompile(ctx, c, req, "AutoNCS")
+	if dumpPath != "" {
+		if err := os.WriteFile(dumpPath, auto.Assignment, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "dump:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("Assignment written to %s\n\n", dumpPath)
+	}
+	if !baseline {
+		return
+	}
+	req.FullCro = true
+	full := remoteCompile(ctx, c, req, "FullCro")
+	if auto.Report != nil && full.Report != nil {
+		red := func(a, f float64) float64 {
+			if f == 0 {
+				return 0
+			}
+			return 100 * (f - a) / f
+		}
+		fmt.Printf("Reductions vs FullCro: wirelength %.2f%%, area %.2f%%, delay %.2f%%, cost %.2f%%\n",
+			red(auto.Report.Wirelength, full.Report.Wirelength),
+			red(auto.Report.Area, full.Report.Area),
+			red(auto.Report.AvgDelay, full.Report.AvgDelay),
+			red(auto.Report.Cost, full.Report.Cost))
+	}
+}
+
+// remoteCompile submits one request, waits for it, and prints the summary;
+// any failure exits.
+func remoteCompile(ctx context.Context, c *client.Client, req client.CompileRequest, name string) *client.Result {
+	st, err := c.CompileWait(ctx, req)
+	if err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.IsRetryable() {
+			fmt.Fprintf(os.Stderr, "remote: %v (retry in %v)\n", err, apiErr.RetryAfter)
+			os.Exit(1)
+		}
+		exitErr("remote", err)
+	}
+	if st.State != client.StateDone {
+		fmt.Fprintf(os.Stderr, "remote: job %s ended %s: %s\n", st.ID, st.State, st.Error)
+		os.Exit(1)
+	}
+	var res client.Result
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		fmt.Fprintln(os.Stderr, "remote: decoding result:", err)
+		os.Exit(1)
+	}
+	printRemoteResult(name, st, &res)
+	return &res
+}
+
+// printRemoteResult mirrors printResult for the wire representation, plus
+// the serving-side facts (cache hit, key, server elapsed time).
+func printRemoteResult(name string, st *client.JobStatus, res *client.Result) {
+	fmt.Printf("== %s (remote) ==\n", name)
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	if st.Cached {
+		fmt.Fprintf(w, "served from cache\tyes\n")
+	} else {
+		fmt.Fprintf(w, "server compile time\t%.2fs\n", st.ElapsedSeconds)
+	}
+	fmt.Fprintf(w, "cache key\t%s\n", st.Key)
+	fmt.Fprintf(w, "crossbars\t%d\n", res.Crossbars)
+	fmt.Fprintf(w, "discrete synapses\t%d\n", res.Synapses)
+	fmt.Fprintf(w, "outlier ratio\t%.2f%%\n", 100*res.OutlierRatio)
+	fmt.Fprintf(w, "avg crossbar utilization\t%.4f\n", res.AvgUtilization)
+	fmt.Fprintf(w, "avg crossbar preference\t%.2f\n", res.AvgPreference)
+	if res.ISCIterations > 0 {
+		fmt.Fprintf(w, "ISC iterations\t%d\n", res.ISCIterations)
+	}
+	if res.Report != nil {
+		fmt.Fprintf(w, "total wirelength\t%.1f µm\n", res.Report.Wirelength)
+		fmt.Fprintf(w, "placement area\t%.2f µm²\n", res.Report.Area)
+		fmt.Fprintf(w, "avg wire delay\t%.3f ns\n", res.Report.AvgDelay)
+		fmt.Fprintf(w, "cost (αL+βA+δT)\t%.1f\n", res.Report.Cost)
+	}
+	w.Flush()
+	if len(res.SizeHistogram) > 0 {
+		keys := make([]string, 0, len(res.SizeHistogram))
+		for k := range res.SizeHistogram {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			return len(keys[i]) < len(keys[j]) || (len(keys[i]) == len(keys[j]) && keys[i] < keys[j])
+		})
+		fmt.Print("crossbar sizes: ")
+		for _, k := range keys {
+			fmt.Printf("%s×%s:%d  ", k, k, res.SizeHistogram[k])
 		}
 		fmt.Println()
 	}

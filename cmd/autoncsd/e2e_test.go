@@ -1,0 +1,226 @@
+package main
+
+// End-to-end test against a real autoncsd binary. It is gated on the
+// AUTONCSD_BIN environment variable so `go test ./...` stays hermetic:
+//
+//	go build -o /tmp/autoncsd ./cmd/autoncsd
+//	AUTONCSD_BIN=/tmp/autoncsd go test -v -run TestDaemonE2E ./cmd/autoncsd/
+//
+// The daemon is started on an ephemeral port (-addr 127.0.0.1:0) and its
+// address scraped from the startup line. The test proves the PR's four
+// serving guarantees: a repeated compile is a bit-identical cache hit, the
+// hit is visible in /metrics, submissions beyond capacity get 429, and
+// SIGTERM drains in-flight work before the process exits cleanly.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// startDaemon launches the binary and returns a client plus the command
+// handle (its process group is the test's to signal).
+func startDaemon(t *testing.T, extraArgs ...string) (*client.Client, *exec.Cmd) {
+	t.Helper()
+	bin := os.Getenv("AUTONCSD_BIN")
+	if bin == "" {
+		t.Skip("AUTONCSD_BIN not set; build cmd/autoncsd and point AUTONCSD_BIN at it")
+	}
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	lines := bufio.NewScanner(stdout)
+	deadline := time.After(10 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			if rest, ok := strings.CutPrefix(lines.Text(), "autoncsd listening on "); ok {
+				got <- rest
+				return
+			}
+		}
+		close(got)
+	}()
+	select {
+	case url, ok := <-got:
+		if !ok {
+			t.Fatal("daemon exited before printing its address")
+		}
+		return client.New(url), cmd
+	case <-deadline:
+		t.Fatal("daemon never printed its listening address")
+		return nil, nil
+	}
+}
+
+func TestDaemonE2E(t *testing.T) {
+	c, cmd := startDaemon(t, "-slots", "1", "-queue", "1")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	if h, err := c.Health(ctx); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz: %v / %+v", err, h)
+	}
+
+	// The README's 400-neuron example, compiled twice: the second request
+	// must be served from the cache, bit-identically.
+	req := client.CompileRequest{Random: &client.RandomSpec{N: 400, Sparsity: 0.94, Seed: 1}}
+	first, err := c.CompileWait(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State != client.StateDone || first.Cached {
+		t.Fatalf("first compile: %+v", first)
+	}
+	firstBytes, err := c.ResultBytes(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.CompileWait(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Key != first.Key {
+		t.Fatalf("second compile not a cache hit: %+v", second)
+	}
+	secondBytes, err := c.ResultBytes(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstBytes, secondBytes) {
+		t.Fatal("cached result not bit-identical")
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits != 1 {
+		t.Fatalf("metrics cache_hits = %d, want 1", m.CacheHits)
+	}
+
+	// Saturate the single slot + single queue entry with slow fresh
+	// compiles; the next submission must bounce with 429.
+	var ids []string
+	sawReject := false
+	for seed := int64(10); seed < 16; seed++ {
+		st, err := c.Compile(ctx, client.CompileRequest{Random: &client.RandomSpec{N: 400, Sparsity: 0.94, Seed: seed}})
+		if err == nil {
+			ids = append(ids, st.ID)
+			continue
+		}
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+			t.Fatalf("saturation submit: %v, want 429", err)
+		}
+		if apiErr.RetryAfter <= 0 {
+			t.Errorf("429 without Retry-After: %+v", apiErr)
+		}
+		sawReject = true
+		break
+	}
+	if !sawReject {
+		t.Fatal("queue never saturated (slots=1 queue=1 accepted 6 jobs)")
+	}
+	if len(ids) == 0 {
+		t.Fatal("no job accepted before saturation")
+	}
+
+	// SIGTERM with those jobs still in flight: the daemon must finish them
+	// (drain) and exit 0. Blocking watchers attach first — the daemon keeps
+	// its listener open until the drain completes, so each watcher receives
+	// the terminal state before the process exits.
+	type watch struct {
+		id  string
+		st  *client.JobStatus
+		err error
+	}
+	watches := make(chan watch, len(ids))
+	for _, id := range ids {
+		go func(id string) {
+			st, err := c.JobWait(ctx, id)
+			watches <- watch{id, st, err}
+		}(id)
+	}
+	time.Sleep(200 * time.Millisecond) // let the watchers connect
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for range ids {
+		wr := <-watches
+		if wr.err != nil {
+			t.Fatalf("watching %s during drain: %v", wr.id, wr.err)
+		}
+		if wr.st.State != client.StateDone {
+			t.Errorf("job %s ended %s after SIGTERM, want done (drain must finish in-flight work)", wr.id, wr.st.State)
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+}
+
+// TestDaemonDiskCache restarts the daemon over the same -cache-dir and
+// checks the second process serves the first one's result from disk.
+func TestDaemonDiskCache(t *testing.T) {
+	if os.Getenv("AUTONCSD_BIN") == "" {
+		t.Skip("AUTONCSD_BIN not set")
+	}
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	req := client.CompileRequest{Random: &client.RandomSpec{N: 200, Sparsity: 0.94, Seed: 1}, SkipPhysical: true}
+
+	c1, cmd1 := startDaemon(t, "-cache-dir", dir)
+	first, err := c1.CompileWait(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBytes, err := c1.ResultBytes(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd1.Process.Signal(syscall.SIGTERM)
+	if err := cmd1.Wait(); err != nil {
+		t.Fatalf("first daemon exit: %v", err)
+	}
+
+	c2, _ := startDaemon(t, "-cache-dir", dir)
+	second, err := c2.CompileWait(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("restarted daemon recompiled instead of reading the disk cache")
+	}
+	secondBytes, err := c2.ResultBytes(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstBytes, secondBytes) {
+		t.Fatal("disk-cached result not bit-identical across restarts")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	autoncs "repro"
@@ -39,14 +40,21 @@ type Baseline struct {
 // BenchReport is the machine-readable run record written by -benchout.
 // README.md ("Performance") documents how to read it.
 type BenchReport struct {
-	GeneratedBy string       `json:"generated_by"`
-	GoVersion   string       `json:"go_version"`
-	NumCPU      int          `json:"num_cpu"`
-	Seed        int64        `json:"seed"`
-	Workers     int          `json:"workers"`
-	Quick       bool         `json:"quick"`
-	Large       bool         `json:"large"`
-	Stages      []StageStats `json:"stages"`
+	GeneratedBy string `json:"generated_by"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler's parallelism cap at run time — the
+	// number that actually bounds the worker pools, as opposed to NumCPU.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GitCommit and GitDirty identify the source the binary was built from
+	// (debug.BuildInfo vcs stamps; empty when built outside a checkout).
+	GitCommit string       `json:"git_commit,omitempty"`
+	GitDirty  bool         `json:"git_dirty,omitempty"`
+	Seed      int64        `json:"seed"`
+	Workers   int          `json:"workers"`
+	Quick     bool         `json:"quick"`
+	Large     bool         `json:"large"`
+	Stages    []StageStats `json:"stages"`
 	// Baseline and the two ratios are present when -baseline-wall /
 	// -baseline-allocs were given and the compile2000 stage ran: SpeedupWall
 	// = baseline wall / current wall, AllocsRatio = baseline allocs /
@@ -65,15 +73,38 @@ type reporter struct {
 }
 
 func newReporter(seed int64, workers int, quick, large bool) *reporter {
+	commit, dirty := vcsStamp()
 	return &reporter{rep: BenchReport{
 		GeneratedBy: "cmd/ncsbench",
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GitCommit:   commit,
+		GitDirty:    dirty,
 		Seed:        seed,
 		Workers:     workers,
 		Quick:       quick,
 		Large:       large,
 	}}
+}
+
+// vcsStamp extracts the commit the binary was built from out of the build
+// info the Go toolchain embeds. `go run`/`go test` binaries and builds
+// outside a git checkout carry no stamp; both report empty.
+func vcsStamp() (commit string, dirty bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			commit = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return commit, dirty
 }
 
 // run times f as one named stage, capturing the allocation deltas.

@@ -1,0 +1,157 @@
+package autoncs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+	"math"
+
+	"repro/internal/route"
+)
+
+// CanonicalHash returns the SHA-256 content address of a compile: a key
+// that is equal for two (network, config) pairs exactly when the compiled
+// Result is guaranteed bit-identical by the determinism contract, and
+// different whenever any semantically meaningful input differs. It is the
+// cache key of the compile service (cmd/autoncsd): a repeat compile of the
+// same inputs can be answered from a content-addressed result store without
+// re-running the flow.
+//
+// The hash covers, in a fixed canonical order:
+//
+//   - a format/version domain tag (bump it when the flow's semantics
+//     change so stale on-disk caches cannot serve wrong results),
+//   - the connection matrix (size + row bitsets),
+//   - the crossbar library sizes and every device-model parameter,
+//   - the flow knobs after normalization (below),
+//   - the placement, routing, and cost parameters,
+//   - Seed and SkipPhysical.
+//
+// Normalization folds every spelling of the same semantics onto one
+// encoding, so zero-vs-default and sentinel choices hash equal:
+//
+//   - SelectionQuantile 0 hashes as the paper's 0.75; every negative value
+//     hashes as -1 (partial selection disabled).
+//   - UtilizationThreshold keeps 0 as 0 (auto — deterministic given the
+//     hashed network and library); every negative value (DisabledThreshold
+//     included) hashes as -1.
+//   - Route.BatchSize 0 hashes as the router's default batch size.
+//   - Negative zero hashes as positive zero for every float knob.
+//
+// Excluded entirely are the knobs the determinism contract proves
+// irrelevant to the result: Workers (flow- and route-level) and every
+// Observer. A Config that fails Compile's validation fails here with the
+// same error, so a key never exists for an input that cannot compile.
+func CanonicalHash(net *Network, cfg Config) ([32]byte, error) {
+	var key [32]byte
+	if err := validateInput(net, cfg); err != nil {
+		return key, err
+	}
+	h := sha256.New()
+	io.WriteString(h, "autoncs-cache-key/v1\n")
+	h.Write(net.AppendBinary(nil))
+	e := hashEncoder{w: h}
+
+	sizes := cfg.Library.Sizes()
+	e.uint(uint64(len(sizes)))
+	for _, s := range sizes {
+		e.uint(uint64(s))
+	}
+
+	d := cfg.Device
+	e.f64(d.MemristorPitch)
+	e.f64(d.CrossbarPeriphery)
+	e.f64(d.NeuronSide)
+	e.f64(d.SynapseSide)
+	e.f64(d.CrossbarDelayAtRef)
+	e.uint(uint64(d.RefSize))
+	e.f64(d.SynapseDelay)
+	e.f64(d.WireRPerUm)
+	e.f64(d.WireCPerUm)
+
+	e.f64(canonThreshold(cfg.UtilizationThreshold))
+	e.f64(canonQuantile(cfg.SelectionQuantile))
+
+	p := cfg.Place
+	e.f64(p.Gamma)
+	e.f64(p.Omega)
+	e.f64(p.RouteReserve)
+	e.f64(p.OverlapThreshold)
+	e.uint(uint64(p.MaxOuter))
+	e.uint(uint64(p.CGIterations))
+
+	r := cfg.Route
+	e.f64(r.Theta)
+	e.uint(uint64(r.Capacity))
+	e.f64(r.CongestionPenalty)
+	e.uint(uint64(r.MaxRelaxations))
+	bs := r.BatchSize
+	if bs == 0 {
+		bs = route.DefaultOptions().BatchSize
+	}
+	e.uint(uint64(bs))
+
+	e.f64(cfg.Cost.Alpha)
+	e.f64(cfg.Cost.Beta)
+	e.f64(cfg.Cost.Delta)
+
+	e.uint(uint64(cfg.Seed))
+	if cfg.SkipPhysical {
+		e.uint(1)
+	} else {
+		e.uint(0)
+	}
+
+	h.Sum(key[:0])
+	return key, nil
+}
+
+// CanonicalHashHex is CanonicalHash rendered as lowercase hex — the form
+// the compile service uses in URLs and on-disk cache filenames.
+func CanonicalHashHex(net *Network, cfg Config) (string, error) {
+	key, err := CanonicalHash(net, cfg)
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(key[:]), nil
+}
+
+// canonThreshold folds every disabled spelling (any negative value) onto -1
+// and keeps 0 (auto) and explicit positive thresholds as-is.
+func canonThreshold(t float64) float64 {
+	if t < 0 {
+		return -1
+	}
+	return t
+}
+
+// canonQuantile folds 0 onto the paper's default 0.75 and every disabled
+// spelling (any negative value) onto -1.
+func canonQuantile(q float64) float64 {
+	switch {
+	case q == 0:
+		return 0.75
+	case q < 0:
+		return -1
+	}
+	return q
+}
+
+// hashEncoder writes fixed-width little-endian scalars into the hash. Every
+// value goes through exactly one of the two methods, so the byte stream is
+// unambiguous given the fixed field order.
+type hashEncoder struct {
+	w   io.Writer
+	buf [8]byte
+}
+
+func (e *hashEncoder) uint(v uint64) {
+	binary.LittleEndian.PutUint64(e.buf[:], v)
+	e.w.Write(e.buf[:])
+}
+
+func (e *hashEncoder) f64(v float64) {
+	// v+0 normalizes -0.0 to +0.0 without touching any other value.
+	e.uint(math.Float64bits(v + 0))
+}

@@ -1,0 +1,212 @@
+// Package cache is the content-addressed result store of the compile
+// service: an in-memory LRU over opaque byte payloads keyed by a 32-byte
+// content address (the canonical SHA-256 of a compile's inputs, see
+// autoncs.CanonicalHash), with an optional on-disk layer that survives
+// process restarts.
+//
+// The store never interprets payloads. Because keys address the *inputs*
+// of a deterministic computation, a hit is bit-exact by construction: the
+// stored bytes are exactly what recomputing would produce, so the service
+// can serve them without any freshness or equality check.
+package cache
+
+import (
+	"container/list"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key is a 32-byte content address (SHA-256 of the canonical input
+// encoding).
+type Key [32]byte
+
+// Hex renders the key as lowercase hex — the URL and filename form.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the 64-char lowercase-hex form back into a Key.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, fmt.Errorf("cache: %q is not a 64-char hex key", s)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// Options configures a Store.
+type Options struct {
+	// MaxEntries bounds the in-memory LRU; 0 means DefaultMaxEntries.
+	// Negative disables the memory layer entirely (only useful with Dir).
+	MaxEntries int
+	// Dir, when non-empty, enables the on-disk layer: every Put is also
+	// written to Dir/<hex-key>, and a memory miss falls back to a disk
+	// read (promoting the value back into memory). The directory is
+	// created if missing.
+	Dir string
+}
+
+// DefaultMaxEntries is the in-memory capacity when Options.MaxEntries is 0.
+const DefaultMaxEntries = 256
+
+// Stats is a point-in-time counter snapshot of a Store.
+type Stats struct {
+	Hits      int64 // Get calls that found the key (memory or disk)
+	DiskHits  int64 // the subset of Hits served by the on-disk layer
+	Misses    int64 // Get calls that found nothing
+	Evictions int64 // entries dropped from memory by the LRU bound
+	Entries   int   // current in-memory entry count
+}
+
+type entry struct {
+	key Key
+	val []byte
+}
+
+// Store is a thread-safe content-addressed byte store. Use New.
+type Store struct {
+	mu         sync.Mutex
+	maxEntries int
+	dir        string
+	ll         *list.List // front = most recently used
+	byKey      map[Key]*list.Element
+	stats      Stats
+}
+
+// New returns a Store; when opts.Dir is set the directory is created.
+func New(opts Options) (*Store, error) {
+	max := opts.MaxEntries
+	switch {
+	case max == 0:
+		max = DefaultMaxEntries
+	case max < 0:
+		max = 0
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return &Store{
+		maxEntries: max,
+		dir:        opts.Dir,
+		ll:         list.New(),
+		byKey:      make(map[Key]*list.Element),
+	}, nil
+}
+
+// Get returns a copy of the payload stored under k. A memory hit refreshes
+// the entry's LRU position; a memory miss falls back to the on-disk layer
+// (when configured) and promotes the value back into memory.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.byKey[k]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.Hits++
+		v := clone(el.Value.(*entry).val)
+		s.mu.Unlock()
+		return v, true
+	}
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" {
+		s.count(&s.stats.Misses)
+		return nil, false
+	}
+	v, err := os.ReadFile(s.path(k))
+	if err != nil {
+		s.count(&s.stats.Misses)
+		return nil, false
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.stats.DiskHits++
+	s.insertLocked(k, v)
+	s.mu.Unlock()
+	return clone(v), true
+}
+
+// Put stores the payload under k in memory and — when configured — on
+// disk. The disk write is atomic (temp file + rename) so a crashed or
+// concurrent writer can never leave a torn payload; a disk failure is
+// returned but the memory layer has already accepted the value.
+func (s *Store) Put(k Key, v []byte) error {
+	s.mu.Lock()
+	s.insertLocked(k, clone(v))
+	dir := s.dir
+	s.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if _, err := tmp.Write(v); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: %w", err)
+	}
+	return nil
+}
+
+// Len returns the current in-memory entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = s.ll.Len()
+	return st
+}
+
+// insertLocked inserts or refreshes k, evicting from the cold end while
+// over capacity. Caller holds s.mu. The value must already be private to
+// the store.
+func (s *Store) insertLocked(k Key, v []byte) {
+	if el, ok := s.byKey[k]; ok {
+		// Content-addressed: same key means same bytes, so only the LRU
+		// position needs refreshing. Keep the new value anyway — it is
+		// equally valid and this path is rare.
+		el.Value.(*entry).val = v
+		s.ll.MoveToFront(el)
+		return
+	}
+	if s.maxEntries == 0 {
+		return
+	}
+	s.byKey[k] = s.ll.PushFront(&entry{key: k, val: v})
+	for s.ll.Len() > s.maxEntries {
+		cold := s.ll.Back()
+		s.ll.Remove(cold)
+		delete(s.byKey, cold.Value.(*entry).key)
+		s.stats.Evictions++
+	}
+}
+
+func (s *Store) count(c *int64) {
+	s.mu.Lock()
+	*c++
+	s.mu.Unlock()
+}
+
+func (s *Store) path(k Key) string { return filepath.Join(s.dir, k.Hex()) }
+
+func clone(v []byte) []byte { return append([]byte(nil), v...) }

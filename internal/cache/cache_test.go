@@ -1,0 +1,167 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func keyOf(b byte) Key {
+	var k Key
+	k[0] = b
+	k[31] = ^b
+	return k
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	k := keyOf(0xab)
+	h := k.Hex()
+	if len(h) != 64 {
+		t.Fatalf("hex length %d", len(h))
+	}
+	back, err := ParseKey(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != k {
+		t.Fatalf("round trip %v != %v", back, k)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Error("short junk key parsed")
+	}
+	if _, err := ParseKey(h + "00"); err == nil {
+		t.Error("overlong key parsed")
+	}
+}
+
+func TestMemoryHitMissAndIsolation(t *testing.T) {
+	s, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyOf(1)
+	if _, ok := s.Get(k); ok {
+		t.Fatal("hit on empty store")
+	}
+	val := []byte("payload")
+	if err := s.Put(k, val); err != nil {
+		t.Fatal(err)
+	}
+	val[0] = 'X' // caller mutation after Put must not reach the store
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	got[0] = 'Y' // returned slice mutation must not reach the store
+	again, _ := s.Get(k)
+	if !bytes.Equal(again, []byte("payload")) {
+		t.Fatalf("store payload corrupted via returned slice: %q", again)
+	}
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 || st.DiskHits != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, err := New(Options{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := keyOf(1), keyOf(2), keyOf(3)
+	s.Put(a, []byte("a"))
+	s.Put(b, []byte("b"))
+	s.Get(a) // refresh a → b is now coldest
+	s.Put(c, []byte("c"))
+	if _, ok := s.Get(b); ok {
+		t.Error("coldest entry b survived eviction")
+	}
+	if _, ok := s.Get(a); !ok {
+		t.Error("refreshed entry a was evicted")
+	}
+	if _, ok := s.Get(c); !ok {
+		t.Error("newest entry c was evicted")
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestDiskLayerSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyOf(9)
+	if err := s1.Put(k, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k.Hex())); err != nil {
+		t.Fatalf("disk file missing: %v", err)
+	}
+
+	// A fresh store over the same directory — cold memory, warm disk.
+	s2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(k)
+	if !ok || !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("disk fallback Get = %q, %v", got, ok)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	// The disk hit promoted the entry: the next Get is a memory hit.
+	if _, ok := s2.Get(k); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := s2.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Errorf("post-promotion stats %+v", st)
+	}
+}
+
+func TestMemoryDisabledStillUsesDisk(t *testing.T) {
+	s, err := New(Options{MaxEntries: -1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := keyOf(4)
+	if err := s.Put(k, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("memory layer holds %d entries with MaxEntries<0", s.Len())
+	}
+	if got, ok := s.Get(k); !ok || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := New(Options{MaxEntries: 8, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := keyOf(byte(i % 16))
+				want := []byte(fmt.Sprintf("v%d", i%16))
+				s.Put(k, want)
+				if got, ok := s.Get(k); ok && len(got) == 0 {
+					t.Errorf("empty payload for %v", k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -9,6 +9,7 @@
 package graph
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"math/rand"
@@ -114,6 +115,21 @@ func (c *Conn) Equal(o *Conn) bool {
 		}
 	}
 	return true
+}
+
+// AppendBinary appends a canonical fixed-width binary encoding of the
+// matrix to dst and returns the extended slice: the neuron count as a
+// little-endian uint64 followed by every row's bitset words in row-major
+// order. Two matrices produce identical encodings iff Equal reports true —
+// the row stride is derived from n alone and the padding bits beyond column
+// n are invariantly zero — so the encoding is a sound input for
+// content-addressed hashing (the compile service's cache key).
+func (c *Conn) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(c.n))
+	for _, w := range c.bits {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
 }
 
 // OutDegree returns the number of outgoing connections of neuron i (fanout).

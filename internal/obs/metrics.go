@@ -24,6 +24,8 @@ type MetricsSnapshot struct {
 	PlaceSteps     int // PlaceProgress checkpoints
 	RouteBatches   int
 	Relaxations    int // RouteRelaxation events
+	CacheHits      int // CacheLookup events with Hit
+	CacheMisses    int // CacheLookup events without Hit
 	StageTimes     map[Stage]time.Duration
 	CompileElapsed time.Duration // total wall time of the last finished compile
 	LastISC        ISCIteration
@@ -64,6 +66,12 @@ func (m *Metrics) Observe(e Event) {
 		m.snap.LastRoute = e
 	case RouteRelaxation:
 		m.snap.Relaxations++
+	case CacheLookup:
+		if e.Hit {
+			m.snap.CacheHits++
+		} else {
+			m.snap.CacheMisses++
+		}
 	}
 }
 

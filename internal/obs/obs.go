@@ -109,6 +109,16 @@ type RouteRelaxation struct {
 	Pending     int // wires awaiting re-route under the new capacity
 }
 
+// CacheLookup records one content-addressed result-cache probe of the
+// serving layer (cmd/autoncsd): a hit means the compile was answered from
+// the store without running the flow. Emitted by the server, not by the
+// compile pipeline itself — a bare CLI compile never produces one.
+type CacheLookup struct {
+	Key  string // lowercase-hex content address probed
+	Hit  bool
+	Disk bool // the hit was served by the on-disk layer
+}
+
 func (CompileStart) event()    {}
 func (CompileEnd) event()      {}
 func (StageStart) event()      {}
@@ -117,6 +127,7 @@ func (ISCIteration) event()    {}
 func (PlaceProgress) event()   {}
 func (RouteBatch) event()      {}
 func (RouteRelaxation) event() {}
+func (CacheLookup) event()     {}
 
 // Observer receives the flow's events. Implementations must not block for
 // long (they run on the flow's control goroutine) and must not assume any

@@ -62,6 +62,9 @@ func TestMetricsAccumulation(t *testing.T) {
 		RouteRelaxation{Relaxations: 1, Capacity: 9, Pending: 2},
 		StageEnd{Stage: StageRoute, Elapsed: 2 * time.Second, Err: failure},
 		CompileEnd{Elapsed: 6 * time.Second, Err: failure},
+		CacheLookup{Key: "ab", Hit: false},
+		CacheLookup{Key: "ab", Hit: true, Disk: true},
+		CacheLookup{Key: "cd", Hit: true},
 	}
 	for _, e := range events {
 		m.Observe(e)
@@ -73,6 +76,9 @@ func TestMetricsAccumulation(t *testing.T) {
 	if s.Compiles != 1 || s.ISCIterations != 2 || s.PlaceSteps != 1 ||
 		s.RouteBatches != 1 || s.Relaxations != 1 {
 		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.CacheHits != 2 || s.CacheMisses != 1 {
+		t.Errorf("cache counts wrong: hits %d misses %d", s.CacheHits, s.CacheMisses)
 	}
 	if s.StageTimes[StageClustering] != 3*time.Second || s.StageTimes[StageRoute] != 2*time.Second {
 		t.Errorf("stage times wrong: %v", s.StageTimes)

@@ -53,5 +53,7 @@ func (s slogObserver) Observe(e Event) {
 	case RouteRelaxation:
 		s.l.Info("route relaxation",
 			"relaxations", e.Relaxations, "capacity", e.Capacity, "pending", e.Pending)
+	case CacheLookup:
+		s.l.Info("cache lookup", "key", e.Key, "hit", e.Hit, "disk", e.Disk)
 	}
 }

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/client"
+	"repro/internal/cache"
+	"repro/internal/graph"
+)
+
+// maxRequestNeurons bounds the size of a network a single request may ask
+// the daemon to compile. The flow is superlinear in n, so this is the
+// service's overload guard, distinct from graph.MaxLoadNeurons (the text
+// parser's allocation guard).
+const maxRequestNeurons = 4096
+
+// compileSpec is a validated, materialized compile request: the network,
+// the full config, and the content address under which the result is
+// cached.
+type compileSpec struct {
+	net     *autoncs.Network
+	cfg     autoncs.Config
+	fullCro bool
+	key     cache.Key
+}
+
+// buildSpec materializes a wire request: constructs the network, fills the
+// config, and derives the cache key. Every validation failure is a
+// client-side (HTTP 400) error.
+func buildSpec(req client.CompileRequest) (*compileSpec, error) {
+	sources := 0
+	for _, set := range []bool{req.Net != "", req.Random != nil, req.Testbench != 0} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("exactly one of net, random, testbench must be set (got %d)", sources)
+	}
+
+	seed := req.Seed
+	if seed == 0 {
+		seed = autoncs.DefaultConfig().Seed
+	}
+
+	var net *autoncs.Network
+	switch {
+	case req.Net != "":
+		n, err := graph.Read(strings.NewReader(req.Net))
+		if err != nil {
+			return nil, fmt.Errorf("parsing net: %v", err)
+		}
+		net = n
+	case req.Random != nil:
+		r := *req.Random
+		if r.N <= 0 || r.N > maxRequestNeurons {
+			return nil, fmt.Errorf("random.n %d out of range 1..%d", r.N, maxRequestNeurons)
+		}
+		if r.Sparsity < 0 || r.Sparsity > 1 {
+			return nil, fmt.Errorf("random.sparsity %g out of [0,1]", r.Sparsity)
+		}
+		net = autoncs.RandomSparseNetwork(r.N, r.Sparsity, r.Seed)
+	default:
+		tbs := autoncs.Testbenches()
+		if req.Testbench < 1 || req.Testbench > len(tbs) {
+			return nil, fmt.Errorf("testbench %d out of range 1..%d", req.Testbench, len(tbs))
+		}
+		net = autoncs.BuildTestbench(tbs[req.Testbench-1], seed)
+	}
+	if net.N() > maxRequestNeurons {
+		return nil, fmt.Errorf("network with %d neurons exceeds the %d-neuron service limit", net.N(), maxRequestNeurons)
+	}
+
+	cfg := autoncs.DefaultConfig()
+	cfg.Seed = seed
+	cfg.SelectionQuantile = req.SelectionQuantile
+	cfg.UtilizationThreshold = req.UtilizationThreshold
+	cfg.SkipPhysical = req.SkipPhysical
+
+	base, err := autoncs.CanonicalHash(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	key := cache.Key(base)
+	if req.FullCro {
+		// The baseline flow computes a different result from the same
+		// inputs; derive a disjoint key domain for it.
+		key = sha256.Sum256(append([]byte("autoncs-fullcro/v1\n"), base[:]...))
+	}
+	return &compileSpec{net: net, cfg: cfg, fullCro: req.FullCro, key: key}, nil
+}
+
+// run executes the compile under ctx with the given worker-pool bound and
+// observer.
+func (sp *compileSpec) run(ctx context.Context, workers int, ob autoncs.Observer) (*autoncs.Result, error) {
+	cfg := sp.cfg
+	cfg.Workers = workers
+	cfg.Observer = ob
+	if sp.fullCro {
+		return autoncs.CompileFullCroCtx(ctx, sp.net, cfg)
+	}
+	return autoncs.CompileCtx(ctx, sp.net, cfg)
+}
+
+// encodeResult renders the deterministic portion of a compile result as
+// the canonical cache payload. Deterministic by construction: struct
+// fields marshal in declaration order, map keys sort, and the assignment
+// JSON is a pure function of the assignment — so re-encoding a recomputed
+// Result yields bit-identical bytes, which is what makes cached responses
+// indistinguishable from fresh ones.
+func encodeResult(sp *compileSpec, res *autoncs.Result) ([]byte, error) {
+	var asg bytes.Buffer
+	if err := res.Assignment.WriteJSON(&asg); err != nil {
+		return nil, fmt.Errorf("encoding assignment: %w", err)
+	}
+	hist := map[string]int{}
+	for size, count := range res.Assignment.SizeHistogram() {
+		hist[strconv.Itoa(size)] = count
+	}
+	out := client.Result{
+		Key:            sp.key.Hex(),
+		Neurons:        sp.net.N(),
+		Connections:    res.Assignment.Total,
+		Crossbars:      len(res.Assignment.Crossbars),
+		Synapses:       len(res.Assignment.Synapses),
+		OutlierRatio:   res.Assignment.OutlierRatio(),
+		AvgUtilization: res.Assignment.AvgUtilization(),
+		AvgPreference:  res.Assignment.AvgPreference(),
+		ISCIterations:  len(res.Trace),
+		SizeHistogram:  hist,
+		Assignment:     json.RawMessage(asg.Bytes()),
+	}
+	if res.Report != nil {
+		out.Report = &client.Report{
+			Wirelength: res.Report.Wirelength,
+			Area:       res.Report.Area,
+			AvgDelay:   res.Report.AvgDelay,
+			MaxDelay:   res.Report.MaxDelay,
+			Cost:       res.Report.Cost,
+			Wires:      res.Report.Wires,
+		}
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/client"
+)
+
+// job is one submitted compile. The spec and identifiers are immutable
+// after creation; the lifecycle fields are guarded by mu. done closes
+// exactly once, when the job reaches a terminal state.
+type job struct {
+	id     string
+	spec   *compileSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu         sync.Mutex
+	state      string
+	cached     bool
+	err        error
+	result     []byte
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	stageTimes map[string]float64
+}
+
+// setRunning transitions queued → running (no-op for a job already
+// terminal, which cannot happen: only the owning worker calls it).
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = client.StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish moves the job to a terminal state and wakes every waiter.
+func (j *job) finish(state string, result []byte, err error, stageTimes map[string]float64) {
+	j.mu.Lock()
+	j.state = state
+	j.result = result
+	j.err = err
+	j.stageTimes = stageTimes
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel() // release the context's resources; the flow has returned
+	close(j.done)
+}
+
+// terminal reports whether the job has finished (any terminal state).
+func (j *job) terminal() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// resultBytes returns the payload of a done job (nil otherwise).
+func (j *job) resultBytes() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != client.StateDone {
+		return nil
+	}
+	return j.result
+}
+
+// status snapshots the job as its wire representation. When embedResult is
+// set and the job is done, the payload rides along (the wait=1 response).
+func (j *job) status(embedResult bool) client.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := client.JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Key:         j.spec.key.Hex(),
+		Cached:      j.cached,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		StageTimes:  j.stageTimes,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		if !j.started.IsZero() {
+			st.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	if j.state == client.StateDone {
+		st.ResultURL = "/v1/results/" + j.id
+		if embedResult {
+			st.Result = j.result
+		}
+	}
+	return st
+}

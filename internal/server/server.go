@@ -1,0 +1,516 @@
+// Package server implements the autoncsd compile service: an HTTP/JSON
+// API over a bounded job queue of AutoNCS compiles, backed by the
+// content-addressed result cache (internal/cache) keyed by
+// autoncs.CanonicalHash.
+//
+// Design in one paragraph: a POST materializes the request into a
+// (network, config, key) spec, probes the cache — a hit answers
+// immediately with the stored payload, bit-identical to what a fresh
+// compile would produce — and otherwise enqueues a job onto a channel of
+// bounded depth drained by a fixed pool of worker goroutines. Each job
+// runs under its own context.Context, so DELETE /v1/jobs/{id} (or a
+// disconnected ?wait=1 caller) aborts the flow mid-stage through the
+// pipeline's cancellation plumbing. Drain stops intake, lets the queue run
+// dry, and optionally cancels stragglers when its context expires —
+// cmd/autoncsd wires SIGTERM to it.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/client"
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Slots is the number of compiles that run concurrently; 0 means 2.
+	Slots int
+	// QueueDepth bounds how many accepted jobs may wait for a slot; 0
+	// means 8. A full queue rejects with 429 + Retry-After.
+	QueueDepth int
+	// CompileWorkers is the worker-pool bound handed to each compile
+	// (Config.Workers); 0 divides the CPUs evenly across the slots. The
+	// compiled results are identical for any value.
+	CompileWorkers int
+	// Cache is the content-addressed result store; nil creates a default
+	// in-memory store.
+	Cache *cache.Store
+	// Log receives request and job lifecycle lines; nil discards them.
+	Log *slog.Logger
+}
+
+// Server is the compile service. Use New; a Server must be shut down with
+// Drain (or Close) to release its worker goroutines.
+type Server struct {
+	slots          int
+	queueDepth     int
+	compileWorkers int
+	cache          *cache.Store
+	log            *slog.Logger
+	metrics        *obs.Metrics
+	// compileFn runs one spec; the default is compileSpec.run. Tests
+	// substitute a controllable stand-in to exercise queue saturation and
+	// drain deterministically.
+	compileFn func(context.Context, *compileSpec, int, obs.Observer) (*autoncs.Result, error)
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *job
+	workers    sync.WaitGroup
+	start      time.Time
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	order    []string // job ids oldest-first, for record eviction
+	seq      int64
+
+	inflight       atomic.Int64
+	accepted       atomic.Int64
+	completed      atomic.Int64
+	failed         atomic.Int64
+	cancelled      atomic.Int64
+	rejected       atomic.Int64
+	lastJobSeconds atomic.Int64 // rounded up, for Retry-After estimates
+}
+
+// maxJobRecords bounds the finished-job records kept for status queries;
+// results stay retrievable through the cache regardless.
+const maxJobRecords = 4096
+
+// New starts a Server: the worker pool is live when New returns.
+func New(opts Options) (*Server, error) {
+	slots := opts.Slots
+	if slots == 0 {
+		slots = 2
+	}
+	if slots < 0 {
+		return nil, fmt.Errorf("server: negative slots %d", slots)
+	}
+	depth := opts.QueueDepth
+	if depth == 0 {
+		depth = 8
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("server: negative queue depth %d", depth)
+	}
+	cw := opts.CompileWorkers
+	if cw < 0 {
+		return nil, fmt.Errorf("server: negative compile workers %d", cw)
+	}
+	if cw == 0 {
+		cw = runtime.NumCPU() / slots
+		if cw < 1 {
+			cw = 1
+		}
+	}
+	store := opts.Cache
+	if store == nil {
+		var err error
+		if store, err = cache.New(cache.Options{}); err != nil {
+			return nil, err
+		}
+	}
+	log := opts.Log
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		slots:          slots,
+		queueDepth:     depth,
+		compileWorkers: cw,
+		cache:          store,
+		log:            log,
+		metrics:        &obs.Metrics{},
+		baseCtx:        ctx,
+		baseCancel:     cancel,
+		queue:          make(chan *job, depth),
+		start:          time.Now(),
+		jobs:           make(map[string]*job),
+	}
+	s.compileFn = func(ctx context.Context, sp *compileSpec, workers int, ob obs.Observer) (*autoncs.Result, error) {
+		return sp.run(ctx, workers, ob)
+	}
+	s.workers.Add(slots)
+	for i := 0; i < slots; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain performs a graceful shutdown: no new work is accepted, queued and
+// in-flight jobs run to completion, and the worker pool exits. If ctx
+// expires first, the remaining jobs are cancelled (they terminate as
+// state=cancelled through the flow's context plumbing) and Drain still
+// waits for the workers to unwind before returning ctx's error. Drain is
+// idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close is an immediate Drain: cancel everything, wait for the workers.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx) //nolint:errcheck // the context error is the point
+	s.baseCancel()
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued job to a terminal state.
+func (s *Server) runJob(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		s.cancelled.Add(1)
+		j.finish(client.StateCancelled, nil, err, nil)
+		s.log.Info("job cancelled before start", "job", j.id)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	j.setRunning()
+	s.log.Info("job start", "job", j.id, "key", j.spec.key.Hex(), "neurons", j.spec.net.N())
+	start := time.Now()
+	res, err := s.compileFn(j.ctx, j.spec, s.compileWorkers, s.metrics)
+	elapsed := time.Since(start)
+	if err != nil {
+		state := client.StateFailed
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			state = client.StateCancelled
+			s.cancelled.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		j.finish(state, nil, err, nil)
+		s.log.Info("job end", "job", j.id, "state", state, "err", err)
+		return
+	}
+	payload, err := encodeResult(j.spec, res)
+	if err != nil {
+		s.failed.Add(1)
+		j.finish(client.StateFailed, nil, err, nil)
+		s.log.Error("job result encoding failed", "job", j.id, "err", err)
+		return
+	}
+	if err := s.cache.Put(j.spec.key, payload); err != nil {
+		// A cache write failure only costs future hits; the job is fine.
+		s.log.Warn("cache put failed", "job", j.id, "err", err)
+	}
+	st := make(map[string]float64, len(res.StageTimes))
+	for stage, d := range res.StageTimes {
+		st[string(stage)] = d.Seconds()
+	}
+	s.completed.Add(1)
+	s.lastJobSeconds.Store(int64(math.Ceil(elapsed.Seconds())))
+	j.finish(client.StateDone, payload, nil, st)
+	s.log.Info("job end", "job", j.id, "state", "done", "elapsed", elapsed)
+}
+
+// handleCompile is POST /v1/compile[?wait=1].
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req client.CompileRequest
+	body := http.MaxBytesReader(w, r.Body, 32<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err), 0)
+		return
+	}
+	spec, err := buildSpec(req)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	wait := r.URL.Query().Get("wait") != ""
+
+	// Cache probe. A hit never consumes a queue slot: the job record is
+	// born terminal.
+	payload, hit := s.cache.Get(spec.key)
+	s.metrics.Observe(obs.CacheLookup{Key: spec.key.Hex(), Hit: hit})
+	if hit {
+		j := s.newJob(spec)
+		j.cached = true
+		j.finish(client.StateDone, payload, nil, nil)
+		s.accepted.Add(1)
+		s.completed.Add(1)
+		s.log.Info("cache hit", "job", j.id, "key", spec.key.Hex())
+		s.writeJSON(w, http.StatusOK, j.status(wait))
+		return
+	}
+
+	j := s.newJob(spec)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.dropJob(j)
+		s.writeErr(w, http.StatusServiceUnavailable, "draining: not accepting new work", 10*time.Second)
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.dropJob(j)
+		s.rejected.Add(1)
+		s.writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d queued, %d running)", s.queueDepth, s.inflight.Load()),
+			s.retryAfter())
+		return
+	}
+	s.accepted.Add(1)
+
+	if !wait {
+		s.writeJSON(w, http.StatusAccepted, j.status(false))
+		return
+	}
+	select {
+	case <-j.done:
+		s.writeJSON(w, http.StatusOK, j.status(true))
+	case <-r.Context().Done():
+		// The waiting client vanished; its compile goes with it.
+		j.cancel()
+		<-j.done
+	}
+}
+
+// handleJob is GET /v1/jobs/{id}. With ?wait=1 it blocks until the job
+// reaches a terminal state — a passive watch, so a disconnecting watcher
+// does NOT cancel the job (unlike the submitter's wait on POST).
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, "no such job", 0)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, j.status(false))
+}
+
+// handleCancel is DELETE /v1/jobs/{id}: cooperative cancellation of a
+// queued or running job. Cancelling a terminal job is a no-op that
+// reports the final state.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, "no such job", 0)
+		return
+	}
+	if !j.terminal() {
+		j.cancel()
+		s.log.Info("job cancel requested", "job", j.id)
+	}
+	s.writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+// handleResult is GET /v1/results/{id}: the raw cached payload. Serving
+// the stored bytes verbatim (not a re-marshal) is what makes the
+// bit-identity guarantee directly observable to clients.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobByID(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, "no such job", 0)
+		return
+	}
+	payload := j.resultBytes()
+	if payload == nil {
+		st := j.status(false)
+		s.writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s, not done", st.State), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Autoncs-Key", j.spec.key.Hex())
+	w.WriteHeader(http.StatusOK)
+	w.Write(payload)
+}
+
+// handleHealth is GET /healthz: 200 ok, or 503 once draining.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := client.Health{Status: "ok", UptimeSeconds: time.Since(s.start).Seconds()}
+	code := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, h)
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.snapshotMetrics())
+}
+
+// snapshotMetrics merges the serving counters with the aggregated flow
+// observer and the cache stats.
+func (s *Server) snapshotMetrics() client.Metrics {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	snap := s.metrics.Snapshot()
+	stageSeconds := make(map[string]float64, len(snap.StageTimes))
+	for _, stage := range obs.Stages() {
+		if d, ok := snap.StageTimes[stage]; ok {
+			stageSeconds[string(stage)] = d.Seconds()
+		}
+	}
+	return client.Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      draining,
+		WorkerSlots:   s.slots,
+		QueueCapacity: s.queueDepth,
+		QueueDepth:    len(s.queue),
+		InFlight:      int(s.inflight.Load()),
+		JobsAccepted:  s.accepted.Load(),
+		JobsCompleted: s.completed.Load(),
+		JobsFailed:    s.failed.Load(),
+		JobsCancelled: s.cancelled.Load(),
+		JobsRejected:  s.rejected.Load(),
+		CacheHits:     int64(snap.CacheHits),
+		CacheMisses:   int64(snap.CacheMisses),
+		CacheEntries:  s.cache.Len(),
+		Compiles:      snap.Compiles,
+		StageSeconds:  stageSeconds,
+	}
+}
+
+// newJob allocates and registers a job record.
+func (s *Server) newJob(spec *compileSpec) *job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", s.seq),
+		spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     client.StateQueued,
+		submitted: time.Now(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	// Evict the oldest finished records beyond the cap; never an active
+	// job (an unfinished head stalls eviction, which is fine — the cap is
+	// far above any plausible active set).
+	for len(s.order) > maxJobRecords {
+		old, ok := s.jobs[s.order[0]]
+		if ok && !old.terminal() {
+			break
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.mu.Unlock()
+	return j
+}
+
+// dropJob removes a job record that was never admitted (queue full or
+// draining) so rejected submissions aren't queryable ghosts.
+func (s *Server) dropJob(j *job) {
+	j.cancel()
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) jobByID(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// retryAfter estimates when a slot is likely to free: the last completed
+// compile's duration, clamped to [1s, 60s].
+func (s *Server) retryAfter() time.Duration {
+	secs := s.lastJobSeconds.Load()
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("encoding response", "err", err)
+	}
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, msg string, retryAfter time.Duration) {
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+	}
+	s.writeJSON(w, code, map[string]string{"error": msg})
+}
