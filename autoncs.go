@@ -393,9 +393,13 @@ func routeOptions(cfg Config) RouteOptions {
 	return ro
 }
 
-// placeOptions is cfg.Place with an unset Observer inheriting the flow's.
+// placeOptions is cfg.Place with an unset Workers knob inheriting the
+// flow-level Config.Workers and an unset Observer inheriting the flow's.
 func placeOptions(cfg Config) PlaceOptions {
 	po := cfg.Place
+	if po.Workers == 0 {
+		po.Workers = cfg.Workers
+	}
 	if po.Observer == nil {
 		po.Observer = cfg.Observer
 	}

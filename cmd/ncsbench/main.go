@@ -33,7 +33,7 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "run scaled-down versions of every experiment")
-		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1, compile, reliability, fidelity, compile2000")
+		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1, place, compile, reliability, fidelity, compile2000")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
 		large   = flag.Bool("large", false, "also run compile2000, the 2000-neuron cluster-only compile (minutes of CPU time)")
@@ -118,6 +118,7 @@ func main() {
 	run("fig9", func() error { return figureISC(ctx, tbs[2], 9, *seed, rec) })
 	run("fig10", func() error { return figure10(ctx, tbs[2], *seed, rec) })
 	run("table1", func() error { return table1(ctx, tbs, *seed, rec) })
+	run("place", func() error { return placeStage(ctx, n, *seed, *workers, rec) })
 	run("compile", func() error { return compileBreakdown(ctx, n, *seed, *workers, observer, rec) })
 	run("reliability", func() error { return reliability(*quick, *seed) })
 	run("fidelity", func() error { return fidelity(*quick, *seed) })

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/xbar"
+)
+
+// placeStage benchmarks the placement engine in isolation on a FullCro
+// netlist of an n-neuron sparse network — the congested single-stage
+// workload the multigrid/parallel rework targets. Beyond wall time it
+// reports the solver and detailed-placement counters (field solves,
+// V-cycles, red-black sweeps, swap candidates/accepts), all of which are
+// deterministic for any -workers value.
+func placeStage(ctx context.Context, n int, seed int64, workers int, rec *reporter) error {
+	header(fmt.Sprintf("place — multigrid placement engine (%d neurons, FullCro)", n))
+	rng := rand.New(rand.NewSource(seed))
+	cm := graph.RandomSparse(n, 0.94, rng)
+	nl, err := netlist.Build(xbar.FullCro(cm, xbar.DefaultLibrary()), xbar.Default45nm())
+	if err != nil {
+		return err
+	}
+	opts := place.DefaultOptions()
+	opts.Workers = workers
+	start := time.Now()
+	res, err := place.PlaceCtx(ctx, nl, opts)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Printf("netlist: %d cells, %d wires\n", len(nl.Cells), len(nl.Wires))
+	fmt.Printf("wall %.3fs over %d λ rounds: %d field solves, %d V-cycles, %d red-black sweeps\n",
+		wall.Seconds(), res.Outer, res.FieldSolves, res.VCycles, res.FieldSweeps)
+	fmt.Printf("detailed placement: %d swaps accepted of %d candidates\n",
+		res.SwapsAccepted, res.SwapCandidates)
+	fmt.Printf("HPWL %.1f µm (initial %.1f, global %.1f), area %.0f µm²\n",
+		res.HPWL, res.InitialHPWL, res.GlobalHPWL, res.Area())
+	rec.metric("wall_seconds", wall.Seconds())
+	rec.metric("hpwl_um", res.HPWL)
+	rec.metric("global_hpwl_um", res.GlobalHPWL)
+	rec.metric("area_um2", res.Area())
+	rec.metric("outer_rounds", float64(res.Outer))
+	rec.metric("field_solves", float64(res.FieldSolves))
+	rec.metric("vcycles", float64(res.VCycles))
+	rec.metric("field_sweeps", float64(res.FieldSweeps))
+	rec.metric("swap_candidates", float64(res.SwapCandidates))
+	rec.metric("swaps_accepted", float64(res.SwapsAccepted))
+	return nil
+}

@@ -30,6 +30,7 @@ type MetricsSnapshot struct {
 	CompileElapsed time.Duration // total wall time of the last finished compile
 	LastISC        ISCIteration
 	LastPlace      PlaceProgress
+	LastPlaceStats PlaceStats // stats of the last finished placement
 	LastRoute      RouteBatch
 	Err            error // error of the last StageEnd/CompileEnd that carried one
 }
@@ -61,6 +62,8 @@ func (m *Metrics) Observe(e Event) {
 	case PlaceProgress:
 		m.snap.PlaceSteps++
 		m.snap.LastPlace = e
+	case PlaceStats:
+		m.snap.LastPlaceStats = e
 	case RouteBatch:
 		m.snap.RouteBatches++
 		m.snap.LastRoute = e

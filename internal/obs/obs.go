@@ -80,15 +80,38 @@ type ISCIteration struct {
 }
 
 // PlaceProgress records one progress checkpoint of the placement λ loop
-// (every overlap evaluation, several per outer λ round): the current outer
-// round, the penalty weight λ, the exact weighted HPWL, and the remaining
-// physical overlap area.
+// (every overlap evaluation, several per outer λ round): the outer round
+// the checkpointed step belongs to, the penalty weight λ that step ran
+// under, the exact weighted HPWL, and the remaining physical overlap area.
+// Besides the instantaneous values it carries the best-snapshot state the
+// loop is tracking — the HPWL/overlap of the best legalization-aware
+// placement visited so far, which is what the loop will restore at the end.
 type PlaceProgress struct {
-	Outer   int     // 0-based outer λ round
+	Outer   int     // 0-based outer λ round of the checkpointed step
 	Step    int     // 1-based optimizer step within the budget
-	Lambda  float64 // current density penalty weight
+	Lambda  float64 // density penalty weight the checkpointed step used
 	HPWL    float64 // exact weighted HPWL at this checkpoint, µm
 	Overlap float64 // total pairwise physical overlap area, µm²
+	// BestHPWL and BestOverlap describe the best proxy-quality snapshot
+	// visited so far (including this checkpoint, if it is the new best).
+	BestHPWL    float64
+	BestOverlap float64
+}
+
+// PlaceStats summarizes one finished placement: λ rounds, the multigrid
+// field-solver work of the global phase, and the candidate/accept counters
+// of the swap-based detailed placement, with kernel wall times. Emitted
+// once per placement, after detailed placement completes. The timings are
+// diagnostic only; every counter is deterministic for any worker count.
+type PlaceStats struct {
+	Outer          int           // λ rounds performed (a partial round counts)
+	FieldSolves    int           // Poisson field refreshes (one per step)
+	VCycles        int           // multigrid V-cycles across all refreshes
+	FieldSweeps    int           // red-black relaxation sweeps, all levels
+	SwapCandidates int           // detailed-placement pairs evaluated
+	SwapsAccepted  int           // detailed-placement swaps taken
+	FieldTime      time.Duration // wall time inside the field solver
+	DetailTime     time.Duration // wall time in legalization + detailed placement
 }
 
 // RouteBatch records one committed batch of the speculative maze router.
@@ -125,6 +148,7 @@ func (StageStart) event()      {}
 func (StageEnd) event()        {}
 func (ISCIteration) event()    {}
 func (PlaceProgress) event()   {}
+func (PlaceStats) event()      {}
 func (RouteBatch) event()      {}
 func (RouteRelaxation) event() {}
 func (CacheLookup) event()     {}

@@ -56,6 +56,7 @@ func TestMetricsAccumulation(t *testing.T) {
 		StageEnd{Stage: StageClustering, Elapsed: 3 * time.Second},
 		StageStart{Stage: StagePlace},
 		PlaceProgress{Outer: 0, Step: 20, Lambda: 0.5},
+		PlaceStats{Outer: 4, FieldSolves: 480, VCycles: 960, SwapsAccepted: 17},
 		StageEnd{Stage: StagePlace, Elapsed: time.Second},
 		StageStart{Stage: StageRoute},
 		RouteBatch{Batch: 1, Wires: 16, Committed: 16, Capacity: 8},
@@ -86,6 +87,9 @@ func TestMetricsAccumulation(t *testing.T) {
 	if s.LastISC.Index != 2 || s.LastISC.Clusters != 4 {
 		t.Errorf("LastISC = %+v", s.LastISC)
 	}
+	if s.LastPlaceStats.FieldSolves != 480 || s.LastPlaceStats.SwapsAccepted != 17 {
+		t.Errorf("LastPlaceStats = %+v", s.LastPlaceStats)
+	}
 	if s.CompileElapsed != 6*time.Second || !errors.Is(s.Err, failure) {
 		t.Errorf("CompileElapsed/Err wrong: %v %v", s.CompileElapsed, s.Err)
 	}
@@ -101,11 +105,12 @@ func TestSlogObserverLevels(t *testing.T) {
 	ob := NewSlog(slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo})))
 	ob.Observe(StageStart{Stage: StageClustering})
 	ob.Observe(ISCIteration{Index: 3, Clusters: 9, Placed: 4, QuartileCP: 1.5})
-	ob.Observe(PlaceProgress{Outer: 1, Step: 40}) // Debug: filtered at Info
-	ob.Observe(RouteBatch{Batch: 2, Wires: 16})   // Debug: filtered at Info
+	ob.Observe(PlaceProgress{Outer: 1, Step: 40})                         // Debug: filtered at Info
+	ob.Observe(RouteBatch{Batch: 2, Wires: 16})                           // Debug: filtered at Info
+	ob.Observe(PlaceStats{Outer: 4, FieldSolves: 480, SwapsAccepted: 17}) // Info: summary event
 	ob.Observe(StageEnd{Stage: StageClustering, Elapsed: time.Second, Err: errors.New("bad")})
 	out := buf.String()
-	for _, want := range []string{"stage start", "isc iteration", "iter=3", "stage end", "err=bad"} {
+	for _, want := range []string{"stage start", "isc iteration", "iter=3", "place stats", "fieldSolves=480", "stage end", "err=bad"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("log output missing %q:\n%s", want, out)
 		}

@@ -45,7 +45,14 @@ func (s slogObserver) Observe(e Event) {
 	case PlaceProgress:
 		s.l.Debug("place progress",
 			"outer", e.Outer, "step", e.Step, "lambda", e.Lambda,
-			"hpwl", e.HPWL, "overlap", e.Overlap)
+			"hpwl", e.HPWL, "overlap", e.Overlap,
+			"bestHPWL", e.BestHPWL, "bestOverlap", e.BestOverlap)
+	case PlaceStats:
+		s.l.Info("place stats",
+			"outer", e.Outer, "fieldSolves", e.FieldSolves,
+			"vCycles", e.VCycles, "fieldSweeps", e.FieldSweeps,
+			"swapCandidates", e.SwapCandidates, "swapsAccepted", e.SwapsAccepted,
+			"fieldTime", e.FieldTime, "detailTime", e.DetailTime)
 	case RouteBatch:
 		s.l.Debug("route batch",
 			"batch", e.Batch, "wires", e.Wires, "committed", e.Committed,

@@ -1,0 +1,55 @@
+package place
+
+import (
+	"testing"
+)
+
+// TestPlaceStepAllocs pins the warm inner-loop contract: every buffer the
+// optimizer step touches — the multigrid levels and their folded rhs, the
+// chunked bin-scatter buffers, the gradient vectors, the per-wire span
+// slots — lives in the workspace built by newProblem/setupRegion, so a warm
+// step allocates nothing. The kernels passed to the worker pool are
+// prebuilt method values for the same reason (a closure literal at the call
+// site would heap-allocate per sweep).
+func TestPlaceStepAllocs(t *testing.T) {
+	nl := clusteredNetlist(t)
+	opts := DefaultOptions()
+	opts.Workers = 1 // serial pool path: no goroutine bookkeeping
+	p := newProblem(nl, opts)
+	p.initialGrid()
+	p.setupRegion()
+	if err := p.step(1e-3); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := p.step(1e-3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm placement step allocated %.1f times, want 0", allocs)
+	}
+}
+
+// TestPlaceFieldSolveAllocs pins the field refresh alone: a solve is run
+// once per optimizer step, so even one allocation here multiplies into
+// thousands over a placement.
+func TestPlaceFieldSolveAllocs(t *testing.T) {
+	nl := clusteredNetlist(t)
+	opts := DefaultOptions()
+	opts.Workers = 1
+	p := newProblem(nl, opts)
+	p.initialGrid()
+	p.setupRegion()
+	if err := p.solveField(p.pos); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := p.solveField(p.pos); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm field solve allocated %.1f times, want 0", allocs)
+	}
+}

@@ -1,0 +1,50 @@
+package place
+
+import (
+	"testing"
+)
+
+// BenchmarkPlace times a full placement (global + legalize + detailed) of
+// the clustered experiment netlist — the end-to-end number the CI bench
+// smoke tracks.
+func BenchmarkPlace(b *testing.B) {
+	nl := clusteredNetlist(b)
+	opts := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Place(nl, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceFieldSolve times one warm multigrid field refresh — the
+// per-step cost the V-cycle rework targets (formerly 80 serial
+// Gauss-Seidel sweeps over the full grid).
+func BenchmarkPlaceFieldSolve(b *testing.B) {
+	nl := clusteredNetlist(b)
+	p := newProblem(nl, DefaultOptions())
+	p.initialGrid()
+	p.setupRegion()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.solveField(p.pos); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceStep times one optimizer step (field refresh + wirelength
+// and density gradients + CG update).
+func BenchmarkPlaceStep(b *testing.B) {
+	nl := clusteredNetlist(b)
+	p := newProblem(nl, DefaultOptions())
+	p.initialGrid()
+	p.setupRegion()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.step(1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package place
+
+import (
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// The multigrid Poisson solver behind the electrostatic spreading force.
+//
+// The old solver ran 80 lexicographic Gauss-Seidel sweeps over the full
+// grid×grid bin array per field refresh — inherently serial (each update
+// reads the half-updated array) and the dominant placement cost. This one
+// replaces it with red-black relaxation inside a geometric multigrid
+// V-cycle:
+//
+//   - Red-black ordering two-colors the grid like a checkerboard. All red
+//     cells read only black neighbors, so the red half-sweep (and likewise
+//     the black one) is order-independent: parallelizing it over rows with
+//     parallel.ForCtx is bit-identical for any worker count.
+//   - The V-cycle restricts the residual to a coarser grid (halved per
+//     level down to mgCoarsestGrid), solves the error equation there, and
+//     prolongates the correction back — the standard cure for Gauss-Seidel
+//     only contracting high-frequency error. With the warm-started ψ kept
+//     between refreshes, fieldVCycles cycles replace the 80 sweeps at a
+//     fraction of the updates.
+//
+// Restriction/prolongation constants and the Neumann boundary treatment
+// are documented on the respective functions; docs/placement.md has the
+// overview.
+const (
+	// mgCoarsestGrid stops the coarsening: a level this small is solved by
+	// plain relaxation (mgCoarseSweeps red-black sweeps). Grids at or below
+	// this size get no hierarchy at all.
+	mgCoarsestGrid = 8
+	// mgPreSweeps/mgPostSweeps smooth before restriction and after the
+	// coarse correction on every intermediate level.
+	mgPreSweeps  = 2
+	mgPostSweeps = 2
+	// mgCoarseSweeps relaxes the coarsest level (≤ 8×8 = 64 cells) to
+	// near-convergence.
+	mgCoarseSweeps = 48
+	// fieldVCycles per field refresh; ψ warm-starts from the previous
+	// refresh, so two cycles track the slowly-moving density closely.
+	fieldVCycles = 2
+	// mgSerialGrid: levels smaller than this relax serially — the sweep is
+	// cheaper than parallel dispatch. Purely a scheduling choice; results
+	// are identical either way under the determinism contract.
+	mgSerialGrid = 32
+)
+
+// fieldLevel is one grid of the multigrid hierarchy. Level 0 aliases the
+// problem's ψ; f is the right-hand side with h² folded in (so relaxation
+// is ψ = (Σnb + f)/cnt), r the residual scratch.
+type fieldLevel struct {
+	g         int
+	psi, f, r []float64
+}
+
+// setupLevels builds the multigrid hierarchy for the fixed region grid:
+// grid sizes halve (rounding up) until mgCoarsestGrid. All buffers are
+// allocated once here — a field refresh performs no allocation.
+func (p *problem) setupLevels() {
+	p.levels = p.levels[:0]
+	g := p.grid
+	for {
+		lv := fieldLevel{g: g}
+		if g == p.grid {
+			lv.psi = p.psi
+		} else {
+			lv.psi = make([]float64, g*g)
+		}
+		lv.f = make([]float64, g*g)
+		lv.r = make([]float64, g*g)
+		p.levels = append(p.levels, lv)
+		if g <= mgCoarsestGrid {
+			break
+		}
+		g = (g + 1) / 2
+	}
+}
+
+// solveField refreshes the electrostatic spreading potential from the
+// current positions: the zero-mean bin density is the charge, and
+// ∇²ψ = −(ρ − ρ̄) is solved with Neumann boundaries by red-black multigrid
+// (see the file comment). ψ persists between calls, so each refresh
+// warm-starts from the previous field. This is the long-range density
+// force of force-directed/ePlace-style placement: unlike a local overflow
+// penalty it moves cells buried inside an overfull plateau, and it
+// preserves relative cell order while spreading.
+func (p *problem) solveField(pos []float64) error {
+	start := time.Now()
+	defer func() { p.fieldTime += time.Since(start) }()
+	if err := p.accumulateBins(pos); err != nil {
+		return err
+	}
+	lv := &p.levels[0]
+	nb := len(p.binAcc)
+	mean := treeSum(p.binAcc) / float64(nb)
+	h2 := p.binSize * p.binSize
+	for b, a := range p.binAcc {
+		lv.f[b] = h2 * (a - mean) / p.binArea
+	}
+	p.fieldSolves++
+	if len(p.levels) == 1 {
+		// The whole region fits the coarsest size: plain relaxation
+		// converges quickly, no hierarchy needed.
+		for s := 0; s < mgCoarseSweeps; s++ {
+			if err := p.relaxRB(lv); err != nil {
+				return err
+			}
+		}
+	} else {
+		for c := 0; c < fieldVCycles; c++ {
+			if err := p.vcycle(0); err != nil {
+				return err
+			}
+			p.vcycles++
+		}
+	}
+	// Zero-mean the potential (Neumann leaves it defined up to a constant).
+	pm := treeSum(lv.psi) / float64(nb)
+	for i := range lv.psi {
+		lv.psi[i] -= pm
+	}
+	return nil
+}
+
+// vcycle runs one multigrid V-cycle starting at level l: pre-smooth,
+// restrict the residual, recurse, prolongate the coarse correction back,
+// post-smooth. The coarsest level is relaxed to near-convergence instead.
+func (p *problem) vcycle(l int) error {
+	lv := &p.levels[l]
+	if l == len(p.levels)-1 {
+		for s := 0; s < mgCoarseSweeps; s++ {
+			if err := p.relaxRB(lv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for s := 0; s < mgPreSweeps; s++ {
+		if err := p.relaxRB(lv); err != nil {
+			return err
+		}
+	}
+	if err := p.residual(lv); err != nil {
+		return err
+	}
+	next := &p.levels[l+1]
+	restrictTo(lv, next)
+	if err := p.vcycle(l + 1); err != nil {
+		return err
+	}
+	prolongAdd(next, lv)
+	for s := 0; s < mgPostSweeps; s++ {
+		if err := p.relaxRB(lv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// relaxRB performs one red-black Gauss-Seidel sweep on the level: the red
+// half-sweep updates cells with (x+y) even reading only black neighbors,
+// then the black half-sweep the converse. Within a color no update reads
+// another's output, so the parallel row loop produces bit-identical ψ for
+// any worker count.
+func (p *problem) relaxRB(lv *fieldLevel) error {
+	w := p.workers
+	if lv.g < mgSerialGrid {
+		w = 1
+	}
+	p.relaxLv = lv
+	for color := 0; color < 2; color++ {
+		p.relaxColor = color
+		if err := parallel.ForCtx(p.ctx, w, lv.g, p.relaxRowFn); err != nil {
+			return err
+		}
+	}
+	p.fieldSweeps++
+	return nil
+}
+
+// relaxRow updates the current color's cells of row y on the current
+// level (5-point stencil, Neumann boundaries via the neighbor count).
+func (p *problem) relaxRow(y int) {
+	lv := p.relaxLv
+	g := lv.g
+	base := y * g
+	for x := (y + p.relaxColor) & 1; x < g; x += 2 {
+		idx := base + x
+		sum, cnt := 0.0, 0
+		if x > 0 {
+			sum += lv.psi[idx-1]
+			cnt++
+		}
+		if x < g-1 {
+			sum += lv.psi[idx+1]
+			cnt++
+		}
+		if y > 0 {
+			sum += lv.psi[idx-g]
+			cnt++
+		}
+		if y < g-1 {
+			sum += lv.psi[idx+g]
+			cnt++
+		}
+		lv.psi[idx] = (sum + lv.f[idx]) / float64(cnt)
+	}
+}
+
+// residual fills lv.r = f − Aψ where Aψ = cnt·ψ − Σ neighbors (the
+// discrete Neumann Laplacian the relaxation solves). Reads ψ, writes only
+// r: trivially parallel and worker-invariant.
+func (p *problem) residual(lv *fieldLevel) error {
+	w := p.workers
+	if lv.g < mgSerialGrid {
+		w = 1
+	}
+	p.relaxLv = lv
+	return parallel.ForCtx(p.ctx, w, lv.g, p.residRowFn)
+}
+
+func (p *problem) residRow(y int) {
+	lv := p.relaxLv
+	g := lv.g
+	base := y * g
+	for x := 0; x < g; x++ {
+		idx := base + x
+		sum, cnt := 0.0, 0
+		if x > 0 {
+			sum += lv.psi[idx-1]
+			cnt++
+		}
+		if x < g-1 {
+			sum += lv.psi[idx+1]
+			cnt++
+		}
+		if y > 0 {
+			sum += lv.psi[idx-g]
+			cnt++
+		}
+		if y < g-1 {
+			sum += lv.psi[idx+g]
+			cnt++
+		}
+		lv.r[idx] = lv.f[idx] - (float64(cnt)*lv.psi[idx] - sum)
+	}
+}
+
+// restrictTo builds the coarse-level error equation from the fine
+// residual: each coarse cell averages the (up to) 2×2 fine residuals it
+// covers, scaled by (h_c/h_f)² because h² is folded into f. The coarse ψ
+// (the error estimate) starts at zero. Serial: the coarse grids are tiny
+// next to the smoothing work.
+func restrictTo(fine, coarse *fieldLevel) {
+	gf, gc := fine.g, coarse.g
+	ratio := float64(gf) / float64(gc) // h_c/h_f; exactly 2 for even gf
+	scale := ratio * ratio
+	for cy := 0; cy < gc; cy++ {
+		y0 := 2 * cy
+		y1 := y0 + 2
+		if y1 > gf {
+			y1 = gf
+		}
+		for cx := 0; cx < gc; cx++ {
+			x0 := 2 * cx
+			x1 := x0 + 2
+			if x1 > gf {
+				x1 = gf
+			}
+			sum, cnt := 0.0, 0
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					sum += fine.r[y*gf+x]
+					cnt++
+				}
+			}
+			ci := cy*gc + cx
+			coarse.f[ci] = scale * sum / float64(cnt)
+			coarse.psi[ci] = 0
+		}
+	}
+}
+
+// prolongAdd interpolates the coarse error bilinearly back onto the fine
+// grid and adds it to ψ. Cell-centered geometry: fine cell x sits at
+// coarse coordinate (x−0.5)/2, so an even fine index blends its parent
+// with the previous coarse cell at weights 3/4 and 1/4 (odd: parent and
+// next), clamped at the edges (constant extrapolation matches Neumann).
+func prolongAdd(coarse, fine *fieldLevel) {
+	gf, gc := fine.g, coarse.g
+	for y := 0; y < gf; y++ {
+		yb := y / 2
+		ylo, yhi := yb-1, yb
+		wy := 0.25 // weight of ylo
+		if y&1 == 1 {
+			ylo, yhi = yb, yb+1
+			wy = 0.75
+		}
+		if ylo < 0 {
+			ylo = 0
+		}
+		if yhi > gc-1 {
+			yhi = gc - 1
+		}
+		rowLo, rowHi := ylo*gc, yhi*gc
+		for x := 0; x < gf; x++ {
+			xb := x / 2
+			xlo, xhi := xb-1, xb
+			wx := 0.25
+			if x&1 == 1 {
+				xlo, xhi = xb, xb+1
+				wx = 0.75
+			}
+			if xlo < 0 {
+				xlo = 0
+			}
+			if xhi > gc-1 {
+				xhi = gc - 1
+			}
+			v := wy*(wx*coarse.psi[rowLo+xlo]+(1-wx)*coarse.psi[rowLo+xhi]) +
+				(1-wy)*(wx*coarse.psi[rowHi+xlo]+(1-wx)*coarse.psi[rowHi+xhi])
+			fine.psi[y*gf+x] += v
+		}
+	}
+}
+
+// treeSum reduces v by fixed-order pairwise (tree) summation: the split
+// points depend only on the length, so the result is a pure function of
+// the values — the deterministic reduction used to combine per-chunk and
+// per-bucket partials regardless of which worker produced them.
+func treeSum(v []float64) float64 {
+	switch len(v) {
+	case 0:
+		return 0
+	case 1:
+		return v[0]
+	case 2:
+		return v[0] + v[1]
+	}
+	h := len(v) / 2
+	return treeSum(v[:h]) + treeSum(v[h:])
+}

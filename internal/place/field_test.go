@@ -1,0 +1,115 @@
+package place
+
+import (
+	"math"
+	"testing"
+)
+
+// l2 of the level-0 residual and of the folded rhs, for convergence checks.
+func fieldResidualNorms(t *testing.T, p *problem) (res, rhs float64) {
+	t.Helper()
+	lv := &p.levels[0]
+	if err := p.residual(lv); err != nil {
+		t.Fatal(err)
+	}
+	for i := range lv.r {
+		res += lv.r[i] * lv.r[i]
+		rhs += lv.f[i] * lv.f[i]
+	}
+	return math.Sqrt(res), math.Sqrt(rhs)
+}
+
+// TestPlaceFieldMultigridConverges: solveField solves the Neumann Poisson
+// system ∇²ψ = −(ρ − ρ̄). One refresh (two V-cycles from a cold ψ) must
+// already contract the residual well below the rhs norm, and repeated
+// refreshes at fixed positions — the warm-start regime of the λ loop —
+// must drive it toward zero, never regress.
+func TestPlaceFieldMultigridConverges(t *testing.T) {
+	nl := clusteredNetlist(t)
+	p := newProblem(nl, DefaultOptions())
+	p.initialGrid()
+	p.setupRegion()
+	if len(p.levels) < 2 {
+		t.Fatalf("grid %d built no multigrid hierarchy", p.grid)
+	}
+	if err := p.solveField(p.pos); err != nil {
+		t.Fatal(err)
+	}
+	res1, rhs := fieldResidualNorms(t, p)
+	if rhs == 0 {
+		t.Fatal("degenerate test: zero rhs")
+	}
+	if res1 > 0.5*rhs {
+		t.Fatalf("one refresh left residual %g of rhs %g (cold V-cycles barely contract)", res1, rhs)
+	}
+	for k := 0; k < 4; k++ {
+		if err := p.solveField(p.pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res5, _ := fieldResidualNorms(t, p)
+	if res5 > 0.02*rhs {
+		t.Fatalf("five refreshes left residual %g of rhs %g", res5, rhs)
+	}
+	if res5 > res1*(1+1e-12) {
+		t.Fatalf("warm-started refresh regressed the residual: %g after one, %g after five", res1, res5)
+	}
+	// Neumann defines ψ up to a constant; solveField pins the zero-mean
+	// gauge so the potential (and its sampled gradient) is well-defined.
+	mean := 0.0
+	for _, v := range p.psi {
+		mean += v
+	}
+	mean /= float64(len(p.psi))
+	scale := 0.0
+	for _, v := range p.psi {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	if math.Abs(mean) > 1e-12*math.Max(scale, 1) {
+		t.Fatalf("ψ mean %g not pinned to zero (scale %g)", mean, scale)
+	}
+}
+
+// TestPlaceFieldLevels: the hierarchy halves down to the coarsest grid and
+// level 0 aliases the problem's ψ (the warm-start storage).
+func TestPlaceFieldLevels(t *testing.T) {
+	nl := clusteredNetlist(t)
+	p := newProblem(nl, DefaultOptions())
+	p.initialGrid()
+	p.setupRegion()
+	if &p.levels[0].psi[0] != &p.psi[0] {
+		t.Fatal("level 0 ψ does not alias the problem ψ")
+	}
+	for l := 1; l < len(p.levels); l++ {
+		want := (p.levels[l-1].g + 1) / 2
+		if p.levels[l].g != want {
+			t.Fatalf("level %d grid %d, want %d", l, p.levels[l].g, want)
+		}
+	}
+	last := p.levels[len(p.levels)-1].g
+	if last > mgCoarsestGrid {
+		t.Fatalf("coarsest level %d exceeds %d", last, mgCoarsestGrid)
+	}
+}
+
+// TestTreeSumMatchesSerial: the fixed-order pairwise reduction agrees with
+// the straightforward left-to-right sum to rounding, across lengths that
+// hit every split-shape case.
+func TestTreeSumMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 16, 17, 100} {
+		v := make([]float64, n)
+		serial := 0.0
+		for i := range v {
+			v[i] = math.Sin(float64(3*i+1)) * math.Pow(10, float64(i%7-3))
+			serial += v[i]
+		}
+		got := treeSum(v)
+		scale := math.Max(math.Abs(serial), 1)
+		if math.Abs(got-serial) > 1e-9*scale {
+			t.Fatalf("n=%d: treeSum %g vs serial %g", n, got, serial)
+		}
+		if again := treeSum(v); again != got {
+			t.Fatalf("n=%d: treeSum not a pure function: %g vs %g", n, again, got)
+		}
+	}
+}

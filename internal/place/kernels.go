@@ -1,0 +1,295 @@
+package place
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// The data-parallel placement kernels. Each one keeps the bit-exact
+// any-worker-count determinism contract by one of two constructions:
+//
+//   - disjoint writes: every index writes only its own output slots
+//     (wirelengthGrad, densityGrad), so the pool only chooses *who*
+//     computes a slot, never the combination order;
+//   - fixed-decomposition partials: work is split into chunks/buckets
+//     whose boundaries depend only on the input, each partial accumulates
+//     in a fixed enumeration order, and the partials reduce in fixed order
+//     (accumulateBins, physicalOverlap with treeSum).
+
+// wirelengthGrad evaluates ∂WL/∂pos into grad (fully overwritten) in two
+// parallel passes: first per wire — each wire's span gradient (the tanh
+// evaluations, the expensive part) lands in its own wgX/wgY slot — then
+// per cell, accumulating the incident wire slots in incidence order with
+// the endpoint sign. Both passes write disjoint slots and the per-cell sum
+// order is fixed by the incidence CSR, so the gradient is bit-identical
+// for any worker count and no tanh is computed twice.
+func (p *problem) wirelengthGrad(pos, grad []float64) error {
+	p.kPos, p.kGrad = pos, grad
+	if err := parallel.ForCtx(p.ctx, p.workers, len(p.nl.Wires), p.wireGradFn); err != nil {
+		return err
+	}
+	return parallel.ForCtx(p.ctx, p.workers, p.n, p.wlGradFn)
+}
+
+// wireGrad fills the per-wire span gradients ∂span/∂From (x and y).
+func (p *problem) wireGrad(wi int) {
+	pos := p.kPos
+	w := &p.nl.Wires[wi]
+	gamma := p.opts.Gamma
+	p.wgX[wi] = waSpan2Grad(pos[w.From], pos[w.To], gamma) * w.Weight
+	p.wgY[wi] = waSpan2Grad(pos[p.n+w.From], pos[p.n+w.To], gamma) * w.Weight
+}
+
+func (p *problem) wlGradCell(i int) {
+	grad := p.kGrad
+	gx, gy := 0.0, 0.0
+	for _, wi := range p.incWire[p.incStart[i]:p.incStart[i+1]] {
+		if p.nl.Wires[wi].From == i {
+			gx += p.wgX[wi]
+			gy += p.wgY[wi]
+		} else {
+			gx -= p.wgX[wi]
+			gy -= p.wgY[wi]
+		}
+	}
+	grad[i], grad[p.n+i] = gx, gy
+}
+
+// densityGrad evaluates ∂Φ/∂pos under the frozen field into grad (fully
+// overwritten). Per-cell disjoint writes; the field itself is read-only
+// here.
+func (p *problem) densityGrad(pos, grad []float64) error {
+	p.kPos, p.kGrad = pos, grad
+	return parallel.ForCtx(p.ctx, p.workers, p.n, p.denGradFn)
+}
+
+func (p *problem) denGradCell(i int) {
+	pos, grad := p.kPos, p.kGrad
+	va := p.vw[i] * p.vh[i]
+	_, gx, gy := p.samplePotential(pos[i], pos[p.n+i])
+	gx, gy = va*gx, va*gy
+	for axis := 0; axis < 2; axis++ {
+		over, sign := p.boundary(pos, i, axis)
+		if over > 0 {
+			g := 2 * over * sign * va / (p.binArea * p.binSize)
+			if axis == 0 {
+				gx += g
+			} else {
+				gy += g
+			}
+		}
+	}
+	grad[i], grad[p.n+i] = gx, gy
+}
+
+// accumulateBins fills p.binAcc with the virtual area each cell deposits
+// in each bin of the density grid at pos. Cells are split into fixed
+// chunks (boundaries depend only on n — see setupRegion); chunk c scatters
+// into its own buffer, and the per-bin combine sums the chunk values by
+// fixed-order tree reduction, so the density is bit-identical for any
+// worker count.
+func (p *problem) accumulateBins(pos []float64) error {
+	p.kPos = pos
+	if err := parallel.ForCtx(p.ctx, p.workers, len(p.binChunks), p.binScatterFn); err != nil {
+		return err
+	}
+	return parallel.ForCtx(p.ctx, p.workers, p.grid, p.binReduceFn)
+}
+
+func (p *problem) binScatter(c int) {
+	buf := p.binChunks[c]
+	for b := range buf {
+		buf[b] = 0
+	}
+	pos := p.kPos
+	lo := c * p.binChunk
+	hi := lo + p.binChunk
+	if hi > p.n {
+		hi = p.n
+	}
+	for i := lo; i < hi; i++ {
+		cx0, cx1, okx := p.binRange(pos[i], p.vw[i], p.regX0)
+		cy0, cy1, oky := p.binRange(pos[p.n+i], p.vh[i], p.regY0)
+		if !okx || !oky {
+			continue
+		}
+		for by := cy0; by <= cy1; by++ {
+			binLoY := p.regY0 + float64(by)*p.binSize
+			oy, _ := axisOverlap(pos[p.n+i], p.vh[i], binLoY, binLoY+p.binSize)
+			if oy <= 0 {
+				continue
+			}
+			for bx := cx0; bx <= cx1; bx++ {
+				binLoX := p.regX0 + float64(bx)*p.binSize
+				ox, _ := axisOverlap(pos[i], p.vw[i], binLoX, binLoX+p.binSize)
+				if ox <= 0 {
+					continue
+				}
+				buf[by*p.grid+bx] += ox * oy
+			}
+		}
+	}
+}
+
+// binReduce combines one grid row of the chunk buffers into binAcc. The
+// chunk count is at most 16, so the per-bin partials fit a fixed array for
+// the tree reduction.
+func (p *problem) binReduce(by int) {
+	base := by * p.grid
+	var vals [16]float64
+	nc := len(p.binChunks)
+	for x := 0; x < p.grid; x++ {
+		for c := 0; c < nc; c++ {
+			vals[c] = p.binChunks[c][base+x]
+		}
+		p.binAcc[base+x] = treeSum(vals[:nc])
+	}
+}
+
+// bucketSorter co-sorts a (bucket key, cell id) pair of slices by key then
+// id — the deterministic ordering behind the overlap and swap-candidate
+// bucket stores. A named type (not sort.Slice) keeps the hot paths free of
+// per-call closure allocation.
+type bucketSorter struct {
+	keys []uint64
+	ids  []int
+}
+
+func (s *bucketSorter) Len() int { return len(s.ids) }
+func (s *bucketSorter) Less(a, b int) bool {
+	if s.keys[a] != s.keys[b] {
+		return s.keys[a] < s.keys[b]
+	}
+	return s.ids[a] < s.ids[b]
+}
+func (s *bucketSorter) Swap(a, b int) {
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
+}
+
+// bucketKey packs grid coordinates into one sortable key. The bias keeps
+// both components non-negative so the packed integer sorts like the
+// (bx, by) pair; ±2^20 buckets is far beyond any placement extent.
+const bucketBias = 1 << 20
+
+func bucketKey(bx, by int) uint64 {
+	return uint64(bx+bucketBias)<<21 | uint64(by+bucketBias)
+}
+
+// fillBuckets builds the sorted bucket store for the given cell ids at
+// bucket size ext: ovSorter holds (key, id) sorted by key then id,
+// ovStart[k]..ovStart[k+1] delimits bucket k, ovBKey[k] is its key (sorted
+// ascending, so neighbors resolve by binary search). Returns the bucket
+// count. Everything is reused workspace; the layout depends only on the
+// positions, never on workers.
+func (p *problem) fillBuckets(ids []int, pos []float64, ext float64) int {
+	m := len(ids)
+	keys := p.ovSorter.keys[:m]
+	sids := p.ovSorter.ids[:m]
+	for k, i := range ids {
+		bx := int(math.Floor(pos[i] / ext))
+		by := int(math.Floor(pos[p.n+i] / ext))
+		keys[k] = bucketKey(bx, by)
+		sids[k] = i
+	}
+	s := bucketSorter{keys: keys, ids: sids}
+	sort.Sort(&s)
+	p.ovStart = p.ovStart[:0]
+	p.ovBKey = p.ovBKey[:0]
+	for k := 0; k < m; k++ {
+		if k == 0 || keys[k] != keys[k-1] {
+			p.ovStart = append(p.ovStart, k)
+			p.ovBKey = append(p.ovBKey, keys[k])
+		}
+	}
+	p.ovStart = append(p.ovStart, m)
+	return len(p.ovBKey)
+}
+
+// findBucket locates the bucket with the given key, or -1.
+func (p *problem) findBucket(key uint64) int {
+	lo, hi := 0, len(p.ovBKey)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.ovBKey[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p.ovBKey) && p.ovBKey[lo] == key {
+		return lo
+	}
+	return -1
+}
+
+// forwardOffsets enumerates each unordered bucket pair exactly once: a
+// bucket pairs with itself and with its four "forward" neighbors.
+var forwardOffsets = [4][2]int{{1, 0}, {-1, 1}, {0, 1}, {1, 1}}
+
+// physicalOverlap returns the total pairwise rectangle-intersection area
+// of the physical cells at pos. Cells land in square buckets sized by the
+// largest physical extent, so overlapping pairs are always in the same or
+// adjacent buckets; each bucket accumulates its pair partial in a fixed
+// enumeration order (parallel over buckets, disjoint partial slots) and
+// the partials reduce by fixed-order tree summation.
+func (p *problem) physicalOverlap(pos []float64) (float64, error) {
+	ext := p.maxPExt
+	if ext <= 0 {
+		return 0, nil // all cells are zero-sized; no overlap possible
+	}
+	if cap(p.ovIDScratch) < p.n {
+		p.ovIDScratch = make([]int, p.n)
+	}
+	ids := p.ovIDScratch[:p.n]
+	for i := range ids {
+		ids[i] = i
+	}
+	nb := p.fillBuckets(ids, pos, ext)
+	if cap(p.ovPart) < nb {
+		p.ovPart = make([]float64, nb)
+	}
+	part := p.ovPart[:nb]
+	err := parallel.ForCtx(p.ctx, p.workers, nb, func(c int) {
+		members := p.ovSorter.ids[p.ovStart[c]:p.ovStart[c+1]]
+		total := 0.0
+		pairOv := func(i, j int) {
+			ox := overlap1D(pos[i], p.pw[i], pos[j], p.pw[j])
+			if ox <= 0 {
+				return
+			}
+			oy := overlap1D(pos[p.n+i], p.ph[i], pos[p.n+j], p.ph[j])
+			if oy <= 0 {
+				return
+			}
+			total += ox * oy
+		}
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				pairOv(members[a], members[b])
+			}
+		}
+		key := p.ovBKey[c]
+		bx := int(key>>21) - bucketBias
+		by := int(key&((1<<21)-1)) - bucketBias
+		for _, off := range forwardOffsets {
+			oc := p.findBucket(bucketKey(bx+off[0], by+off[1]))
+			if oc < 0 {
+				continue
+			}
+			others := p.ovSorter.ids[p.ovStart[oc]:p.ovStart[oc+1]]
+			for _, i := range members {
+				for _, j := range others {
+					pairOv(i, j)
+				}
+			}
+		}
+		part[c] = total
+	})
+	if err != nil {
+		return 0, err
+	}
+	return treeSum(part), nil
+}

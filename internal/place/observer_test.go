@@ -1,0 +1,86 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+type recordingObserver struct{ events []obs.Event }
+
+func (r *recordingObserver) Observe(e obs.Event) { r.events = append(r.events, e) }
+
+// TestPlaceObserverSequence pins the observation contract of the λ loop:
+// a stream of PlaceProgress checkpoints whose Outer/Step/Lambda are
+// mutually consistent (Outer is the round the checkpointed step belongs
+// to, Lambda the weight that step actually ran under — the historical bug
+// reported the post-growth λ and an off-by-one round), followed by exactly
+// one PlaceStats whose counters match the returned Result.
+func TestPlaceObserverSequence(t *testing.T) {
+	nl := clusteredNetlist(t)
+	rec := &recordingObserver{}
+	opts := DefaultOptions()
+	opts.MaxOuter = 3
+	opts.CGIterations = 40
+	opts.Observer = rec
+	r, err := Place(nl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) < 2 {
+		t.Fatalf("got %d events, want progress checkpoints plus stats", len(rec.events))
+	}
+	var progress []obs.PlaceProgress
+	var stats []obs.PlaceStats
+	for _, e := range rec.events {
+		switch ev := e.(type) {
+		case obs.PlaceProgress:
+			if len(stats) > 0 {
+				t.Fatal("PlaceProgress after PlaceStats")
+			}
+			progress = append(progress, ev)
+		case obs.PlaceStats:
+			stats = append(stats, ev)
+		default:
+			t.Fatalf("unexpected event %T", e)
+		}
+	}
+	if len(stats) != 1 {
+		t.Fatalf("got %d PlaceStats events, want exactly 1", len(stats))
+	}
+	prevLambda, prevStep := 0.0, 0
+	for i, ev := range progress {
+		if ev.Step <= prevStep {
+			t.Fatalf("checkpoint %d: step %d not increasing (prev %d)", i, ev.Step, prevStep)
+		}
+		if want := (ev.Step - 1) / opts.CGIterations; ev.Outer != want {
+			t.Fatalf("checkpoint %d: step %d reported round %d, want %d", i, ev.Step, ev.Outer, want)
+		}
+		if ev.Lambda <= prevLambda {
+			t.Fatalf("checkpoint %d: λ %g not strictly increasing (prev %g)", i, ev.Lambda, prevLambda)
+		}
+		if ev.HPWL <= 0 || ev.Overlap < 0 || ev.BestHPWL <= 0 || ev.BestOverlap < 0 {
+			t.Fatalf("checkpoint %d: implausible values %+v", i, ev)
+		}
+		prevLambda, prevStep = ev.Lambda, ev.Step
+	}
+	last := progress[len(progress)-1]
+	st := stats[0]
+	if st.Outer != last.Outer+1 {
+		t.Fatalf("stats report %d rounds, last checkpoint was in round %d", st.Outer, last.Outer)
+	}
+	if st.Outer != r.Outer || st.FieldSolves != r.FieldSolves || st.VCycles != r.VCycles ||
+		st.FieldSweeps != r.FieldSweeps || st.SwapCandidates != r.SwapCandidates ||
+		st.SwapsAccepted != r.SwapsAccepted {
+		t.Fatalf("PlaceStats %+v disagrees with Result counters %+v", st, r)
+	}
+	if st.FieldSolves == 0 || st.VCycles == 0 || st.FieldSweeps == 0 {
+		t.Fatalf("no field work recorded: %+v", st)
+	}
+	if st.SwapCandidates < st.SwapsAccepted {
+		t.Fatalf("accepted %d of %d candidates", st.SwapsAccepted, st.SwapCandidates)
+	}
+	if st.FieldTime <= 0 || st.DetailTime <= 0 {
+		t.Fatalf("missing kernel timings: %+v", st)
+	}
+}

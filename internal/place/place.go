@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/matrix"
 	"repro/internal/netlist"
@@ -48,9 +49,21 @@ type Options struct {
 	MaxOuter int
 	// CGIterations bounds the conjugate-gradient steps per λ round.
 	CGIterations int
+	// SwapRadius bounds the detailed-placement candidate search: swap
+	// partners for a cell are the same-footprint cells within SwapRadius
+	// times the footprint's larger side. Zero means DefaultSwapRadius;
+	// negative is invalid. Larger radii approach the old all-pairs sweep at
+	// quadratic cost, smaller ones keep the pass near-linear.
+	SwapRadius float64
+	// Workers bounds the goroutines running the placement kernels (field
+	// relaxation, gradient evaluation, bin and overlap accumulation). Zero
+	// means the parallel package default; negative is invalid. The placed
+	// result is bit-identical for every worker count.
+	Workers int
 	// Observer, when non-nil, receives an obs.PlaceProgress event at every
-	// overlap checkpoint of the λ loop (several per outer round). Observers
-	// are passive: the values they see are the ones the loop computes for
+	// overlap checkpoint of the λ loop (several per outer round) and one
+	// obs.PlaceStats summary after detailed placement. Observers are
+	// passive: the values they see are the ones the loop computes for
 	// its own convergence check, so attaching one never changes the
 	// placement.
 	Observer obs.Observer
@@ -65,6 +78,7 @@ func DefaultOptions() Options {
 		OverlapThreshold: 0.01,
 		MaxOuter:         18,
 		CGIterations:     120,
+		SwapRadius:       DefaultSwapRadius,
 	}
 }
 
@@ -84,6 +98,12 @@ func (o Options) validate() error {
 	if o.MaxOuter <= 0 || o.CGIterations <= 0 {
 		return fmt.Errorf("place: iteration limits must be positive")
 	}
+	if o.SwapRadius < 0 || math.IsNaN(o.SwapRadius) {
+		return fmt.Errorf("place: swap radius %g must be ≥ 0", o.SwapRadius)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("place: workers %d must be ≥ 0", o.Workers)
+	}
 	return nil
 }
 
@@ -100,8 +120,18 @@ type Result struct {
 	// grid and after global optimization (before legalization), for
 	// diagnosing optimizer and legalizer quality.
 	InitialHPWL, GlobalHPWL float64
-	// Outer is the number of λ rounds performed.
+	// Outer is the number of λ rounds performed (a partial round counts
+	// as one).
 	Outer int
+	// FieldSolves, VCycles and FieldSweeps count the Poisson field work of
+	// the global phase: field refreshes (one per optimizer step), multigrid
+	// V-cycles across all refreshes, and red-black relaxation sweeps summed
+	// over every multigrid level. All three are deterministic for any
+	// worker count.
+	FieldSolves, VCycles, FieldSweeps int
+	// SwapCandidates and SwapsAccepted count the detailed-placement pairs
+	// evaluated and the position swaps taken.
+	SwapCandidates, SwapsAccepted int
 }
 
 // Width returns the bounding-box width.
@@ -134,6 +164,7 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (*Result, 
 		return &Result{}, nil
 	}
 	p := newProblem(nl, opts)
+	p.ctx = ctx
 	p.initialGrid()
 	p.setupRegion()
 	initialHPWL := p.weightedHPWL()
@@ -147,8 +178,14 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (*Result, 
 		// the threshold. The spreading field is re-solved every iteration
 		// and steps are movement-capped, which keeps the nonconvex descent
 		// stable (see minimize).
-		p.solveField(p.pos)
-		lambda := 0.05 * p.gradRatioAt(p.pos)
+		if err := p.solveField(p.pos); err != nil {
+			return nil, fmt.Errorf("place: cancelled in λ round 0: %w", err)
+		}
+		ratio, err := p.gradRatioAt(p.pos)
+		if err != nil {
+			return nil, fmt.Errorf("place: cancelled in λ round 0: %w", err)
+		}
+		lambda := 0.05 * ratio
 		growth := math.Pow(2, 1/float64(opts.CGIterations))
 		checkEvery := 20
 		budget := opts.MaxOuter * opts.CGIterations
@@ -158,28 +195,43 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (*Result, 
 		// relative remaining overlap) and restores it at the end.
 		best := append([]float64(nil), p.pos...)
 		bestProxy := math.Inf(1)
+		bestHPWL, bestOverlap := 0.0, 0.0
 		for iter := 0; iter < budget; iter++ {
-			p.step(lambda)
+			// The λ this step runs under; the checkpoint below reports it
+			// (the growth update happens after, for the next step).
+			stepLambda := lambda
+			round := iter / opts.CGIterations
+			if err := p.step(stepLambda); err != nil {
+				return nil, fmt.Errorf("place: cancelled in λ round %d: %w", round, err)
+			}
 			lambda *= growth
 			if iter%checkEvery == checkEvery-1 {
-				p.outer = iter / opts.CGIterations
+				// Rounds performed so far: the partial round this step
+				// belongs to counts as one.
+				p.outer = round + 1
 				if err := ctx.Err(); err != nil {
-					return nil, fmt.Errorf("place: cancelled in λ round %d: %w", p.outer, err)
+					return nil, fmt.Errorf("place: cancelled in λ round %d: %w", round, err)
 				}
-				ov := p.physicalOverlap(p.pos)
+				ov, err := p.physicalOverlap(p.pos)
+				if err != nil {
+					return nil, fmt.Errorf("place: cancelled in λ round %d: %w", round, err)
+				}
 				hpwl := p.weightedHPWL()
 				proxy := hpwl * (1 + ov/p.totalArea)
-				obs.Emit(opts.Observer, obs.PlaceProgress{
-					Outer:   p.outer,
-					Step:    iter + 1,
-					Lambda:  lambda,
-					HPWL:    hpwl,
-					Overlap: ov,
-				})
 				if proxy < bestProxy {
 					bestProxy = proxy
+					bestHPWL, bestOverlap = hpwl, ov
 					copy(best, p.pos)
 				}
+				obs.Emit(opts.Observer, obs.PlaceProgress{
+					Outer:       round,
+					Step:        iter + 1,
+					Lambda:      stepLambda,
+					HPWL:        hpwl,
+					Overlap:     ov,
+					BestHPWL:    bestHPWL,
+					BestOverlap: bestOverlap,
+				})
 				if ov <= opts.OverlapThreshold*p.totalArea {
 					break
 				}
@@ -191,95 +243,25 @@ func PlaceCtx(ctx context.Context, nl *netlist.Netlist, opts Options) (*Result, 
 		return nil, fmt.Errorf("place: cancelled before legalization: %w", err)
 	}
 	globalHPWL := p.weightedHPWL()
+	detailStart := time.Now()
 	p.legalize()
-	p.swapRefine()
+	if err := p.swapRefine(); err != nil {
+		return nil, fmt.Errorf("place: cancelled in detailed placement: %w", err)
+	}
+	p.detailTime = time.Since(detailStart)
+	obs.Emit(opts.Observer, obs.PlaceStats{
+		Outer:          p.outer,
+		FieldSolves:    p.fieldSolves,
+		VCycles:        p.vcycles,
+		FieldSweeps:    p.fieldSweeps,
+		SwapCandidates: p.swapCandidates,
+		SwapsAccepted:  p.swapsAccepted,
+		FieldTime:      p.fieldTime,
+		DetailTime:     p.detailTime,
+	})
 	r := p.result()
 	r.InitialHPWL, r.GlobalHPWL = initialHPWL, globalHPWL
 	return r, nil
-}
-
-// swapSweeps bounds the swap-based detailed placement passes.
-const swapSweeps = 8
-
-// swapRefine is the swap-based detailed placement pass: exchanging the
-// positions of two same-footprint cells (neurons with neurons, synapses
-// with synapses) is always legal, so the pass greedily accepts every
-// position swap that reduces the weighted wirelength until a sweep finds
-// none. This recovers locality that the analytical phase's spreading
-// cannot express by continuous motion.
-func (p *problem) swapRefine() {
-	if len(p.nl.Wires) == 0 {
-		return
-	}
-	incident := make([][]int, p.n)
-	for wi, w := range p.nl.Wires {
-		incident[w.From] = append(incident[w.From], wi)
-		incident[w.To] = append(incident[w.To], wi)
-	}
-	// cellWLAt evaluates the wirelength of cell i's incident wires with i
-	// at (x,y), ignoring wires to `other` (for a swap those contributions
-	// are handled symmetrically).
-	cellWLAt := func(i, other int, x, y float64) float64 {
-		total := 0.0
-		for _, wi := range incident[i] {
-			w := p.nl.Wires[wi]
-			o := w.To
-			if o == i {
-				o = w.From
-			}
-			if o == other {
-				continue
-			}
-			total += w.Weight * (math.Abs(x-p.pos[o]) + math.Abs(y-p.pos[p.n+o]))
-		}
-		return total
-	}
-	// Group swappable cells by footprint class, in deterministic order.
-	classes := map[[2]float64][]int{}
-	var keys [][2]float64
-	for i, c := range p.nl.Cells {
-		if c.Kind == netlist.KindCrossbar {
-			continue // mixed sizes; swaps rarely legal
-		}
-		k := [2]float64{c.W, c.H}
-		if _, ok := classes[k]; !ok {
-			keys = append(keys, k)
-		}
-		classes[k] = append(classes[k], i)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a][0] != keys[b][0] {
-			return keys[a][0] < keys[b][0]
-		}
-		return keys[a][1] < keys[b][1]
-	})
-	for sweep := 0; sweep < swapSweeps; sweep++ {
-		improved := false
-		for _, key := range keys {
-			members := classes[key]
-			for ai := 0; ai < len(members); ai++ {
-				a := members[ai]
-				if len(incident[a]) == 0 {
-					continue
-				}
-				for bi := ai + 1; bi < len(members); bi++ {
-					b := members[bi]
-					ax, ay := p.pos[a], p.pos[p.n+a]
-					bx, by := p.pos[b], p.pos[p.n+b]
-					cur := cellWLAt(a, b, ax, ay) + cellWLAt(b, a, bx, by)
-					swp := cellWLAt(a, b, bx, by) + cellWLAt(b, a, ax, ay)
-					if swp < cur-1e-9 {
-						p.pos[a], p.pos[p.n+a] = bx, by
-						p.pos[b], p.pos[p.n+b] = ax, ay
-						improved = true
-					}
-				}
-			}
-		}
-		if !improved {
-			break
-		}
-	}
 }
 
 // weightedHPWL evaluates the exact (non-smooth) weighted HPWL at the
@@ -295,38 +277,57 @@ func (p *problem) weightedHPWL() float64 {
 
 // gradRatioAt evaluates λ = Σ|∂WL|/Σ|∂D| at pos, guarding against a
 // (near-)zero density gradient: when the placement is essentially
-// overlap-free the ratio is meaningless and 1 is returned.
-func (p *problem) gradRatioAt(pos []float64) float64 {
-	gw := make([]float64, 2*p.n)
-	gd := make([]float64, 2*p.n)
-	p.wirelengthGrad(pos, gw)
-	p.densityGrad(pos, gd)
+// overlap-free the ratio is meaningless and 1 is returned. The step
+// workspace is borrowed for the two gradients (callers invoke this before
+// the first step).
+func (p *problem) gradRatioAt(pos []float64) (float64, error) {
+	gw, gd := p.stepGrad, p.stepScratch
+	if err := p.wirelengthGrad(pos, gw); err != nil {
+		return 0, err
+	}
+	if err := p.densityGrad(pos, gd); err != nil {
+		return 0, err
+	}
 	sw, sd := 0.0, 0.0
 	for i := range gw {
 		sw += math.Abs(gw[i])
 		sd += math.Abs(gd[i])
 	}
 	if sd <= 1e-9*sw || sd == 0 {
-		return 1
+		return 1, nil
 	}
 	l := sw / sd
 	if l <= 0 || math.IsNaN(l) || math.IsInf(l, 0) {
-		return 1
+		return 1, nil
 	}
-	return l
+	return l, nil
 }
 
 // problem carries the optimization state. Positions are packed as
 // [x0..xn-1, y0..yn-1].
+//
+// Everything the inner loop touches repeatedly lives in a reusable
+// workspace allocated up front (newProblem/setupRegion): multigrid levels,
+// per-chunk bin buffers, incidence lists, the optimizer vectors, and the
+// overlap bucket store. The hot kernels are prebuilt method values
+// (relaxRowFn & co.) because parallel.ForCtx stores its fn, so a literal
+// closure at each call site would heap-allocate per sweep.
 type problem struct {
 	nl        *netlist.Netlist
 	opts      Options
+	ctx       context.Context
+	workers   int
 	n         int
 	pos       []float64
 	vw, vh    []float64 // virtual dims (physical × ω)
 	pw, ph    []float64 // physical dims
 	totalArea float64
+	maxPExt   float64 // largest physical extent, the overlap bucket size
 	outer     int
+	// Incidence CSR: incWire[incStart[i]:incStart[i+1]] are the wire
+	// indices touching cell i, in ascending wire order. Built once; shared
+	// by the parallel wirelength gradient and detailed placement.
+	incStart, incWire []int
 	// Density-field geometry (fixed after initialGrid): a square placement
 	// region split into grid×grid bins.
 	regX0, regY0 float64
@@ -336,10 +337,43 @@ type problem struct {
 	binArea      float64
 	binAcc       []float64 // scratch: per-bin accumulated virtual area
 	// Electrostatic spreading potential ψ, refreshed every step from the
-	// bin densities by a Poisson solve.
-	psi []float64
-	// Optimizer state (lazily allocated by step).
+	// bin densities by a multigrid Poisson solve. psi aliases levels[0].psi.
+	psi    []float64
+	levels []fieldLevel
+	// Fixed-decomposition scatter buffers for accumulateBins: cell chunk c
+	// deposits into binChunks[c], and the per-bin combine walks chunks in
+	// fixed order, so the density is bit-identical for any worker count.
+	binChunks [][]float64
+	binChunk  int // cells per chunk; depends only on n
+	// Optimizer state.
 	stepGrad, stepPrevG, stepDir, stepScratch []float64
+	// Sorted spatial-bucket store shared by physicalOverlap and the
+	// detailed-placement candidate generator (never live at once).
+	ovSorter    bucketSorter
+	ovStart     []int
+	ovBKey      []uint64
+	ovPart      []float64
+	ovIDScratch []int
+	// cellWL[i] caches cell i's incident weighted wirelength during
+	// detailed placement, updated incrementally on accepted swaps.
+	cellWL []float64
+	// Current kernel arguments and prebuilt kernel method values (see the
+	// struct comment).
+	kPos, kGrad  []float64
+	relaxLv      *fieldLevel
+	relaxColor   int
+	wgX, wgY     []float64 // per-wire span gradients (∂span/∂From)
+	relaxRowFn   func(int)
+	residRowFn   func(int)
+	wireGradFn   func(int)
+	wlGradFn     func(int)
+	denGradFn    func(int)
+	binScatterFn func(int)
+	binReduceFn  func(int)
+	// Kernel statistics for obs.PlaceStats and the Result counters.
+	fieldSolves, vcycles, fieldSweeps int
+	swapCandidates, swapsAccepted     int
+	fieldTime, detailTime             time.Duration
 }
 
 func newProblem(nl *netlist.Netlist, opts Options) *problem {
@@ -347,6 +381,7 @@ func newProblem(nl *netlist.Netlist, opts Options) *problem {
 	p := &problem{
 		nl:   nl,
 		opts: opts,
+		ctx:  context.Background(),
 		n:    n,
 		pos:  make([]float64, 2*n),
 		vw:   make([]float64, n),
@@ -354,6 +389,7 @@ func newProblem(nl *netlist.Netlist, opts Options) *problem {
 		pw:   make([]float64, n),
 		ph:   make([]float64, n),
 	}
+	p.workers = opts.Workers
 	pins := make([]int, n)
 	for _, w := range nl.Wires {
 		pins[w.From]++
@@ -365,7 +401,44 @@ func newProblem(nl *netlist.Netlist, opts Options) *problem {
 		p.vw[i] = c.W*opts.Omega + reserve
 		p.vh[i] = c.H*opts.Omega + reserve
 		p.totalArea += c.Area()
+		p.maxPExt = math.Max(p.maxPExt, math.Max(c.W, c.H))
 	}
+	// Incidence CSR (counts → prefix sums → fill in wire order).
+	p.incStart = make([]int, n+1)
+	for _, w := range nl.Wires {
+		p.incStart[w.From+1]++
+		p.incStart[w.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		p.incStart[i+1] += p.incStart[i]
+	}
+	p.incWire = make([]int, 2*len(nl.Wires))
+	fill := pins // reuse as per-cell fill cursor
+	for i := range fill {
+		fill[i] = 0
+	}
+	for wi, w := range nl.Wires {
+		p.incWire[p.incStart[w.From]+fill[w.From]] = wi
+		fill[w.From]++
+		p.incWire[p.incStart[w.To]+fill[w.To]] = wi
+		fill[w.To]++
+	}
+	p.stepGrad = make([]float64, 2*n)
+	p.stepPrevG = make([]float64, 2*n)
+	p.stepDir = make([]float64, 2*n)
+	p.stepScratch = make([]float64, 2*n)
+	p.ovSorter.keys = make([]uint64, n)
+	p.ovSorter.ids = make([]int, n)
+	p.cellWL = make([]float64, n)
+	p.wgX = make([]float64, len(nl.Wires))
+	p.wgY = make([]float64, len(nl.Wires))
+	p.relaxRowFn = p.relaxRow
+	p.residRowFn = p.residRow
+	p.wireGradFn = p.wireGrad
+	p.wlGradFn = p.wlGradCell
+	p.denGradFn = p.denGradCell
+	p.binScatterFn = p.binScatter
+	p.binReduceFn = p.binReduce
 	return p
 }
 
@@ -399,65 +472,21 @@ func (p *problem) setupRegion() {
 	p.binArea = p.binSize * p.binSize
 	p.binAcc = make([]float64, g*g)
 	p.psi = make([]float64, g*g)
-}
-
-// solveField refreshes the electrostatic spreading potential from the
-// current positions: the zero-mean bin density is the charge, and
-// ∇²ψ = −(ρ − ρ̄) is solved by Gauss-Seidel with Neumann boundaries. The
-// potential's gradient is cached for bilinear interpolation. This is the
-// long-range density force of force-directed/ePlace-style placement:
-// unlike a local overflow penalty it moves cells buried inside an overfull
-// plateau, and it preserves relative cell order while spreading.
-func (p *problem) solveField(pos []float64) {
-	p.accumulateBins(pos)
-	g := p.grid
-	n := g * g
-	mean := 0.0
-	for _, a := range p.binAcc {
-		mean += a
+	p.setupLevels()
+	// Fixed chunk decomposition for the density scatter: depends only on
+	// n, never on the worker count (the determinism contract).
+	nb := p.n / 64
+	if nb < 1 {
+		nb = 1
 	}
-	mean /= float64(n)
-	rhs := make([]float64, n)
-	for b, a := range p.binAcc {
-		rhs[b] = (a - mean) / p.binArea
+	if nb > 16 {
+		nb = 16
 	}
-	// Gauss-Seidel sweeps; h² folded into the source term. ψ persists
-	// between calls, so each refresh warm-starts from the previous field
-	// and a modest sweep count suffices.
-	h2 := p.binSize * p.binSize
-	for sweep := 0; sweep < 80; sweep++ {
-		for y := 0; y < g; y++ {
-			for x := 0; x < g; x++ {
-				idx := y*g + x
-				sum, cnt := 0.0, 0
-				if x > 0 {
-					sum += p.psi[idx-1]
-					cnt++
-				}
-				if x < g-1 {
-					sum += p.psi[idx+1]
-					cnt++
-				}
-				if y > 0 {
-					sum += p.psi[idx-g]
-					cnt++
-				}
-				if y < g-1 {
-					sum += p.psi[idx+g]
-					cnt++
-				}
-				p.psi[idx] = (sum + h2*rhs[idx]) / float64(cnt)
-			}
-		}
-	}
-	// Zero-mean the potential (Neumann leaves it defined up to a constant).
-	pm := 0.0
-	for _, v := range p.psi {
-		pm += v
-	}
-	pm /= float64(n)
-	for i := range p.psi {
-		p.psi[i] -= pm
+	p.binChunk = (p.n + nb - 1) / nb
+	nb = (p.n + p.binChunk - 1) / p.binChunk
+	p.binChunks = make([][]float64, nb)
+	for c := range p.binChunks {
+		p.binChunks[c] = make([]float64, g*g)
 	}
 }
 
@@ -887,22 +916,6 @@ func waSpan2Grad(a, b, gamma float64) float64 {
 	return t + d*(1-t*t)/(2*gamma)
 }
 
-// wirelengthGrad accumulates ∂WL/∂pos into grad (which is zeroed first).
-func (p *problem) wirelengthGrad(pos, grad []float64) {
-	for i := range grad {
-		grad[i] = 0
-	}
-	gamma := p.opts.Gamma
-	for _, w := range p.nl.Wires {
-		gx := waSpan2Grad(pos[w.From], pos[w.To], gamma) * w.Weight
-		gy := waSpan2Grad(pos[p.n+w.From], pos[p.n+w.To], gamma) * w.Weight
-		grad[w.From] += gx
-		grad[w.To] -= gx
-		grad[p.n+w.From] += gy
-		grad[p.n+w.To] -= gy
-	}
-}
-
 // axisOverlap returns the overlap of the interval [c−w/2, c+w/2] with
 // [lo, hi] and the derivative of that overlap with respect to c (−1, 0, or
 // +1 up to measure-zero kinks).
@@ -946,58 +959,6 @@ func (p *problem) boundary(pos []float64, i, axis int) (over, sign float64) {
 	return 0, 0
 }
 
-// pairs enumerates interacting cell pairs via a uniform spatial hash so
-// density evaluation stays near-linear. fn receives each unordered pair at
-// most once.
-func (p *problem) pairs(pos []float64, fn func(i, j int)) {
-	// Bucket size: the largest virtual extent, so interacting pairs are
-	// always in the same or adjacent buckets.
-	maxExt := 0.0
-	for i := 0; i < p.n; i++ {
-		maxExt = math.Max(maxExt, math.Max(p.vw[i], p.vh[i]))
-	}
-	if maxExt <= 0 {
-		return
-	}
-	type key struct{ cx, cy int }
-	buckets := make(map[key][]int, p.n)
-	var keys []key
-	for i := 0; i < p.n; i++ {
-		k := key{int(math.Floor(pos[i] / maxExt)), int(math.Floor(pos[p.n+i] / maxExt))}
-		if _, ok := buckets[k]; !ok {
-			keys = append(keys, k)
-		}
-		buckets[k] = append(buckets[k], i)
-	}
-	// Deterministic enumeration order: floating-point accumulation must not
-	// depend on map iteration order.
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].cx != keys[b].cx {
-			return keys[a].cx < keys[b].cx
-		}
-		return keys[a].cy < keys[b].cy
-	})
-	for _, k := range keys {
-		cell := buckets[k]
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				nk := key{k.cx + dx, k.cy + dy}
-				other, ok := buckets[nk]
-				if !ok {
-					continue
-				}
-				for _, i := range cell {
-					for _, j := range other {
-						if j > i {
-							fn(i, j)
-						}
-					}
-				}
-			}
-		}
-	}
-}
-
 // binRange returns the bin index range [b0, b1] a cell interval touches
 // along one axis, clamped to the grid; ok is false if it misses the region.
 func (p *problem) binRange(c, w, r0 float64) (b0, b1 int, ok bool) {
@@ -1015,36 +976,6 @@ func (p *problem) binRange(c, w, r0 float64) (b0, b1 int, ok bool) {
 		b1 = p.grid - 1
 	}
 	return b0, b1, true
-}
-
-// accumulateBins fills p.binAcc with the virtual area each cell deposits in
-// each bin of the density grid at pos.
-func (p *problem) accumulateBins(pos []float64) {
-	for b := range p.binAcc {
-		p.binAcc[b] = 0
-	}
-	for i := 0; i < p.n; i++ {
-		cx0, cx1, okx := p.binRange(pos[i], p.vw[i], p.regX0)
-		cy0, cy1, oky := p.binRange(pos[p.n+i], p.vh[i], p.regY0)
-		if !okx || !oky {
-			continue
-		}
-		for by := cy0; by <= cy1; by++ {
-			binLoY := p.regY0 + float64(by)*p.binSize
-			oy, _ := axisOverlap(pos[p.n+i], p.vh[i], binLoY, binLoY+p.binSize)
-			if oy <= 0 {
-				continue
-			}
-			for bx := cx0; bx <= cx1; bx++ {
-				binLoX := p.regX0 + float64(bx)*p.binSize
-				ox, _ := axisOverlap(pos[i], p.vw[i], binLoX, binLoX+p.binSize)
-				if ox <= 0 {
-					continue
-				}
-				p.binAcc[by*p.grid+bx] += ox * oy
-			}
-		}
-	}
 }
 
 // density is the spreading cost under the current (frozen) electrostatic
@@ -1068,31 +999,6 @@ func (p *problem) density(pos []float64) float64 {
 	return total
 }
 
-// densityGrad accumulates ∂Φ/∂pos under the frozen field into grad
-// (zeroed first).
-func (p *problem) densityGrad(pos, grad []float64) {
-	for i := range grad {
-		grad[i] = 0
-	}
-	for i := 0; i < p.n; i++ {
-		va := p.vw[i] * p.vh[i]
-		_, gx, gy := p.samplePotential(pos[i], pos[p.n+i])
-		grad[i] += va * gx
-		grad[p.n+i] += va * gy
-		for axis := 0; axis < 2; axis++ {
-			over, sign := p.boundary(pos, i, axis)
-			if over > 0 {
-				g := 2 * over * sign * va / (p.binArea * p.binSize)
-				if axis == 0 {
-					grad[i] += g
-				} else {
-					grad[p.n+i] += g
-				}
-			}
-		}
-	}
-}
-
 // step performs one spreading iteration: refresh the electrostatic field
 // at the current positions, combine the WA wirelength gradient with λ times
 // the density gradient (Algorithm 4 line 3's penalty objective), and move
@@ -1103,18 +1009,17 @@ func (p *problem) densityGrad(pos, grad []float64) {
 // line-search on does not exist, and unbounded steps race down the stale
 // potential and oscillate (the ePlace/force-directed literature uses the
 // same bounded-step scheme).
-func (p *problem) step(lambda float64) {
-	n2 := len(p.pos)
-	if p.stepGrad == nil {
-		p.stepGrad = make([]float64, n2)
-		p.stepPrevG = make([]float64, n2)
-		p.stepDir = make([]float64, n2)
-		p.stepScratch = make([]float64, n2)
+func (p *problem) step(lambda float64) error {
+	if err := p.solveField(p.pos); err != nil {
+		return err
 	}
-	p.solveField(p.pos)
-	p.wirelengthGrad(p.pos, p.stepGrad)
+	if err := p.wirelengthGrad(p.pos, p.stepGrad); err != nil {
+		return err
+	}
 	gd := p.stepScratch
-	p.densityGrad(p.pos, gd)
+	if err := p.densityGrad(p.pos, gd); err != nil {
+		return err
+	}
 	for i := range p.stepGrad {
 		p.stepGrad[i] += lambda * gd[i]
 	}
@@ -1147,31 +1052,14 @@ func (p *problem) step(lambda float64) {
 		}
 	}
 	if maxMove <= 0 {
-		return
+		return nil
 	}
 	eta := 0.35 * p.binSize / maxMove
 	for i := range p.pos {
 		p.pos[i] += eta * p.stepDir[i]
 	}
 	copy(p.stepPrevG, p.stepGrad)
-}
-
-// physicalOverlap returns the total pairwise rectangle-intersection area of
-// the physical cells at pos.
-func (p *problem) physicalOverlap(pos []float64) float64 {
-	total := 0.0
-	p.pairs(pos, func(i, j int) {
-		ox := overlap1D(pos[i], p.pw[i], pos[j], p.pw[j])
-		if ox <= 0 {
-			return
-		}
-		oy := overlap1D(pos[p.n+i], p.ph[i], pos[p.n+j], p.ph[j])
-		if oy <= 0 {
-			return
-		}
-		total += ox * oy
-	})
-	return total
+	return nil
 }
 
 // overlap1D returns the 1-D overlap of two centered segments.
@@ -1361,9 +1249,14 @@ func (p *problem) meanStep() float64 {
 // result packages the final placement.
 func (p *problem) result() *Result {
 	r := &Result{
-		X:     make([]float64, p.n),
-		Y:     make([]float64, p.n),
-		Outer: p.outer,
+		X:              make([]float64, p.n),
+		Y:              make([]float64, p.n),
+		Outer:          p.outer,
+		FieldSolves:    p.fieldSolves,
+		VCycles:        p.vcycles,
+		FieldSweeps:    p.fieldSweeps,
+		SwapCandidates: p.swapCandidates,
+		SwapsAccepted:  p.swapsAccepted,
 	}
 	r.MinX, r.MinY = math.Inf(1), math.Inf(1)
 	r.MaxX, r.MaxY = math.Inf(-1), math.Inf(-1)

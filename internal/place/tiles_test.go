@@ -12,7 +12,7 @@ import (
 
 // clusteredNetlist builds a netlist from an ISC-like assignment over a
 // block network, giving crossbars with distinct neuron groups.
-func clusteredNetlist(t *testing.T) *netlist.Netlist {
+func clusteredNetlist(t testing.TB) *netlist.Netlist {
 	t.Helper()
 	rng := rand.New(rand.NewSource(9))
 	cm := graph.RandomClustered(90, 30, 0.7, 0.01, rng)

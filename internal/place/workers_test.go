@@ -1,0 +1,79 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/xbar"
+)
+
+// sparseNetlist builds a FullCro netlist of an n-neuron random sparse
+// network — the crossbar-free-heavy counterpart to clusteredNetlist, with
+// many same-footprint neurons and synapses for the detailed placer.
+func sparseNetlist(t testing.TB, n int, sparsity float64, seed int64) *netlist.Netlist {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := xbar.FullCro(graph.RandomSparse(n, sparsity, rng), xbar.DefaultLibrary())
+	nl, err := netlist.Build(a, xbar.Default45nm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestPlaceWorkerInvariance pins the placement determinism contract: every
+// kernel of the engine (red-black multigrid relaxation, the two-pass
+// wirelength gradient, the chunked density scatter, the bucketed overlap
+// reduction) must produce bit-identical placements for any worker count.
+// Exact float equality on every coordinate, not approximate.
+func TestPlaceWorkerInvariance(t *testing.T) {
+	cases := []struct {
+		name string
+		nl   *netlist.Netlist
+	}{
+		{"clustered90x30", clusteredNetlist(t)},
+		{"sparse720", sparseNetlist(t, 720, 0.985, 21)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers int) *Result {
+				opts := DefaultOptions()
+				// A reduced budget keeps the -race run fast; the kernels
+				// exercised are exactly those of a full placement.
+				opts.MaxOuter = 3
+				opts.CGIterations = 40
+				opts.Workers = workers
+				r, err := Place(tc.nl, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return r
+			}
+			serial := run(1)
+			for _, workers := range []int{2, 4, 8} {
+				got := run(workers)
+				if got.HPWL != serial.HPWL || got.GlobalHPWL != serial.GlobalHPWL {
+					t.Fatalf("workers=%d: HPWL %g/%g, serial %g/%g",
+						workers, got.HPWL, got.GlobalHPWL, serial.HPWL, serial.GlobalHPWL)
+				}
+				if got.Outer != serial.Outer || got.FieldSolves != serial.FieldSolves ||
+					got.VCycles != serial.VCycles || got.FieldSweeps != serial.FieldSweeps {
+					t.Fatalf("workers=%d: solver history diverged: %+v vs %+v", workers, got, serial)
+				}
+				if got.SwapCandidates != serial.SwapCandidates || got.SwapsAccepted != serial.SwapsAccepted {
+					t.Fatalf("workers=%d: swap history diverged: %d/%d vs %d/%d",
+						workers, got.SwapCandidates, got.SwapsAccepted,
+						serial.SwapCandidates, serial.SwapsAccepted)
+				}
+				for i := range serial.X {
+					if got.X[i] != serial.X[i] || got.Y[i] != serial.Y[i] {
+						t.Fatalf("workers=%d: cell %d at (%g, %g), serial (%g, %g)",
+							workers, i, got.X[i], got.Y[i], serial.X[i], serial.Y[i])
+					}
+				}
+			}
+		})
+	}
+}
