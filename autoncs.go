@@ -84,6 +84,10 @@ type (
 	// MetricsObserver is a ready-made thread-safe observer accumulating
 	// event counts and per-stage wall times; its zero value is usable.
 	MetricsObserver = obs.Metrics
+	// MetricsSnapshot is the detached view a MetricsObserver's Snapshot
+	// returns — counts, stage times, and the last summary events
+	// (PlaceStats, ClusterStats).
+	MetricsSnapshot = obs.MetricsSnapshot
 )
 
 // The pipeline stages, in execution order — the keys of Result.StageTimes.
@@ -188,6 +192,29 @@ type Config struct {
 	// SkipPhysical stops after clustering: Netlist, Placement, Routing and
 	// Report stay nil. Useful when only the mapping is of interest.
 	SkipPhysical bool
+	// Multilevel enables the multilevel clustering engine: heavy-edge-
+	// matching coarsening down to MultilevelCutoff, spectral partitioning of
+	// the coarse graph, and uncoarsening with boundary-local Fiedler
+	// refinement, with warm-started Lanczos solves on the flat tail. Off by
+	// default — the flat engine is the paper-faithful reference path whose
+	// results are golden-pinned; the multilevel path trades bit-compatible
+	// clusterings for near-linear scaling on large networks (its results are
+	// still bit-identical for any worker count, and carry their own goldens
+	// and quality gates).
+	Multilevel bool
+	// MultilevelCutoff is the active-neuron count at or below which an ISC
+	// iteration uses the flat engine, and the size coarsening aims for. Zero
+	// means core.DefaultMultilevelCutoff (1024); values below 2 are
+	// rejected. Validated even when Multilevel is off, so a config is either
+	// valid or not regardless of the escape hatch.
+	MultilevelCutoff int
+	// CoarsenRatio is the minimum shrink a coarsening level must achieve to
+	// continue (coarse/fine node count). Zero means
+	// core.DefaultCoarsenRatio (0.9); values outside (0,1) are rejected.
+	CoarsenRatio float64
+	// MultilevelLevels bounds the coarsening depth; zero means unbounded,
+	// negative is rejected.
+	MultilevelLevels int
 	// Observer, when non-nil, receives the flow's typed stage events:
 	// compile start/end, stage boundaries with wall times, per-ISC-iteration
 	// records, placement λ-loop progress, and router batch/relaxation
@@ -267,6 +294,10 @@ func CompileCtx(ctx context.Context, net *Network, cfg Config) (*Result, error) 
 			Rand:                 rand.New(rand.NewSource(cfg.Seed)),
 			Workers:              cfg.Workers,
 			Observer:             ob,
+			Multilevel:           cfg.Multilevel,
+			MultilevelCutoff:     cfg.MultilevelCutoff,
+			CoarsenRatio:         cfg.CoarsenRatio,
+			MultilevelLevels:     cfg.MultilevelLevels,
 		})
 		if err != nil {
 			return fmt.Errorf("autoncs: clustering: %w", err)
@@ -376,6 +407,15 @@ func validateInput(net *Network, cfg Config) error {
 	}
 	if cfg.SelectionQuantile > 1 {
 		return fmt.Errorf("autoncs: Config.SelectionQuantile = %g exceeds 1; quantiles lie in [0,1]", cfg.SelectionQuantile)
+	}
+	if cfg.MultilevelCutoff != 0 && cfg.MultilevelCutoff < 2 {
+		return fmt.Errorf("autoncs: Config.MultilevelCutoff = %d below 2; use 0 for the default (%d)", cfg.MultilevelCutoff, core.DefaultMultilevelCutoff)
+	}
+	if cfg.CoarsenRatio != 0 && (math.IsNaN(cfg.CoarsenRatio) || cfg.CoarsenRatio <= 0 || cfg.CoarsenRatio >= 1) {
+		return fmt.Errorf("autoncs: Config.CoarsenRatio = %g outside (0,1); use 0 for the default (%g)", cfg.CoarsenRatio, core.DefaultCoarsenRatio)
+	}
+	if cfg.MultilevelLevels < 0 {
+		return fmt.Errorf("autoncs: Config.MultilevelLevels = %d is negative; use 0 for unbounded", cfg.MultilevelLevels)
 	}
 	return nil
 }

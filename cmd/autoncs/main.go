@@ -41,6 +41,8 @@ func main() {
 		baseline = flag.Bool("baseline", false, "also run the FullCro baseline and compare")
 		skipPhys = flag.Bool("cluster-only", false, "stop after clustering (no physical design)")
 		quantile = flag.Float64("quantile", 0, "ISC partial-selection quantile (0 = paper's 0.75)")
+		multilvl = flag.Bool("multilevel", false, "cluster large iterations with the multilevel engine (see docs/clustering.md)")
+		mlCutoff = flag.Int("ml-cutoff", 0, "with -multilevel: active-neuron count at or below which iterations use the flat engine (0 = default 1024)")
 		loadPath = flag.String("load", "", "load the network from a file (autoncs-net format)")
 		savePath = flag.String("save", "", "save the generated network to a file before compiling")
 		dumpPath = flag.String("dump", "", "write the resulting hybrid assignment as JSON")
@@ -94,6 +96,10 @@ func main() {
 	}
 
 	if *server != "" {
+		if *multilvl || *mlCutoff != 0 {
+			fmt.Fprintln(os.Stderr, "-multilevel is a local-compile option; the compile service does not accept it yet")
+			os.Exit(2)
+		}
 		runRemote(ctx, *server, net, *seed, *quantile, *skipPhys, *baseline, *dumpPath)
 		return
 	}
@@ -102,6 +108,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.SkipPhysical = *skipPhys
 	cfg.SelectionQuantile = *quantile
+	cfg.Multilevel = *multilvl
+	cfg.MultilevelCutoff = *mlCutoff
 	cfg.Workers = *workers
 	cfg.Observer = stderrObserver(*verbose, *trace)
 

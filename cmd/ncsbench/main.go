@@ -26,6 +26,7 @@ import (
 	autoncs "repro"
 	"repro/internal/experiments"
 	"repro/internal/hopfield"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/viz"
 )
@@ -33,7 +34,7 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "run scaled-down versions of every experiment")
-		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1, place, compile, reliability, fidelity, compile2000")
+		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1, place, compile, cluster, reliability, fidelity, compile2000, compile10k")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
 		large   = flag.Bool("large", false, "also run compile2000, the 2000-neuron cluster-only compile (minutes of CPU time)")
@@ -120,10 +121,14 @@ func main() {
 	run("table1", func() error { return table1(ctx, tbs, *seed, rec) })
 	run("place", func() error { return placeStage(ctx, n, *seed, *workers, rec) })
 	run("compile", func() error { return compileBreakdown(ctx, n, *seed, *workers, observer, rec) })
+	run("cluster", func() error { return clusterStage(ctx, *quick, *seed, *workers, observer, rec) })
 	run("reliability", func() error { return reliability(*quick, *seed) })
 	run("fidelity", func() error { return fidelity(*quick, *seed) })
 	if *large || *only == "compile2000" {
 		run("compile2000", func() error { return compile2000(ctx, *seed, *workers, observer, rec) })
+	}
+	if *large || *quick || *only == "compile10k" {
+		run("compile10k", func() error { return compile10k(ctx, *quick, *seed, *workers, observer, rec) })
 	}
 
 	rec.setBaseline(*baselineRef, *baselineWall, *baselineAllocs)
@@ -203,14 +208,18 @@ func compileBreakdown(ctx context.Context, n int, seed int64, workers int, ob au
 // compile2000 is the large-scale stage: the same 2000-neuron cluster-only
 // compile BenchmarkCompile2000 times (the regime the paper's introduction
 // motivates), run once so the report captures paper-scale wall time and
-// allocation behaviour.
+// allocation behaviour. Since the multilevel engine landed this stage runs
+// it (the flat engine spent the entire 1443s baseline wall in clustering);
+// the engine counters go into the report alongside the quality metrics.
 func compile2000(ctx context.Context, seed int64, workers int, ob autoncs.Observer, rec *reporter) error {
-	header("compile2000 — 2000-neuron cluster-only compile")
+	header("compile2000 — 2000-neuron cluster-only compile (multilevel engine)")
 	net := autoncs.RandomSparseNetwork(2000, 0.985, seed)
 	cfg := autoncs.DefaultConfig()
 	cfg.SkipPhysical = true
 	cfg.Workers = workers
-	cfg.Observer = ob
+	cfg.Multilevel = true
+	m := &autoncs.MetricsObserver{}
+	cfg.Observer = obs.Multi(ob, m)
 	res, err := autoncs.CompileCtx(ctx, net, cfg)
 	if err != nil {
 		return err
@@ -218,11 +227,135 @@ func compile2000(ctx context.Context, seed int64, workers int, ob autoncs.Observ
 	fmt.Printf("crossbars: %d, synapses: %d, outliers %.1f%%, %d ISC iterations\n",
 		len(res.Assignment.Crossbars), len(res.Assignment.Synapses),
 		100*res.Assignment.OutlierRatio(), len(res.Trace))
+	cs := m.Snapshot().LastClusterStats
+	fmt.Printf("engine: %d multilevel + %d flat rounds, depth %d, %d eigensolves (%d warm), %d refine moves\n",
+		cs.MultilevelRounds, cs.FlatRounds, cs.MaxDepth, cs.Eigensolves, cs.WarmStarts, cs.RefineMoves)
 	rec.stageTimes(res.StageTimes)
 	rec.metric("crossbars", float64(len(res.Assignment.Crossbars)))
 	rec.metric("synapses", float64(len(res.Assignment.Synapses)))
 	rec.metric("outlier_ratio", res.Assignment.OutlierRatio())
 	rec.metric("isc_iterations", float64(len(res.Trace)))
+	rec.metric("multilevel_rounds", float64(cs.MultilevelRounds))
+	rec.metric("flat_rounds", float64(cs.FlatRounds))
+	rec.metric("eigensolves", float64(cs.Eigensolves))
+	rec.metric("warm_starts", float64(cs.WarmStarts))
+	rec.metric("refine_moves", float64(cs.RefineMoves))
+	return nil
+}
+
+// compile10k is the new scale testbench the multilevel engine unlocks: a
+// 10000-neuron cluster-only compile, far beyond what the flat spectral
+// engine can touch in reasonable time. The -quick variant keeps all 10k
+// neurons but thins the connectivity so CI's bench-smoke can afford it.
+func compile10k(ctx context.Context, quick bool, seed int64, workers int, ob autoncs.Observer, rec *reporter) error {
+	const n = 10000
+	sparsity := 0.9985
+	if quick {
+		sparsity = 0.9995
+	}
+	header(fmt.Sprintf("compile10k — %d-neuron cluster-only compile (multilevel engine, sparsity %g)", n, sparsity))
+	net := autoncs.RandomSparseNetwork(n, sparsity, seed)
+	cfg := autoncs.DefaultConfig()
+	cfg.SkipPhysical = true
+	cfg.Workers = workers
+	cfg.Multilevel = true
+	m := &autoncs.MetricsObserver{}
+	cfg.Observer = obs.Multi(ob, m)
+	res, err := autoncs.CompileCtx(ctx, net, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("connections: %d, crossbars: %d, synapses: %d, outliers %.1f%%, %d ISC iterations\n",
+		net.NNZ(), len(res.Assignment.Crossbars), len(res.Assignment.Synapses),
+		100*res.Assignment.OutlierRatio(), len(res.Trace))
+	cs := m.Snapshot().LastClusterStats
+	fmt.Printf("engine: %d multilevel + %d flat rounds, depth %d, %d matchings, %d eigensolves (%d warm), %d refine moves\n",
+		cs.MultilevelRounds, cs.FlatRounds, cs.MaxDepth, cs.Matchings, cs.Eigensolves, cs.WarmStarts, cs.RefineMoves)
+	rec.stageTimes(res.StageTimes)
+	rec.metric("connections", float64(net.NNZ()))
+	rec.metric("crossbars", float64(len(res.Assignment.Crossbars)))
+	rec.metric("synapses", float64(len(res.Assignment.Synapses)))
+	rec.metric("outlier_ratio", res.Assignment.OutlierRatio())
+	rec.metric("isc_iterations", float64(len(res.Trace)))
+	rec.metric("multilevel_rounds", float64(cs.MultilevelRounds))
+	rec.metric("eigensolves", float64(cs.Eigensolves))
+	rec.metric("warm_starts", float64(cs.WarmStarts))
+	rec.metric("refine_moves", float64(cs.RefineMoves))
+	return nil
+}
+
+// clusterStage benchmarks the clustering stage in isolation: the same
+// network compiled (cluster-only) through the flat spectral engine and the
+// multilevel engine, with wall time, crossbar count, and outlier quality
+// side by side — the explicit quality accounting of the multilevel path.
+func clusterStage(ctx context.Context, quick bool, seed int64, workers int, ob autoncs.Observer, rec *reporter) error {
+	n, sparsity, cutoff := 1000, 0.99, 256
+	if quick {
+		n, sparsity, cutoff = 400, 0.97, 128
+	}
+	header(fmt.Sprintf("cluster — flat vs multilevel clustering engine (%d neurons)", n))
+	net := autoncs.RandomSparseNetwork(n, sparsity, seed)
+	type outcome struct {
+		wall      time.Duration
+		crossbars int
+		synapses  int
+		iters     int
+		outliers  float64
+		stats     autoncs.MetricsSnapshot
+	}
+	engine := func(multilevel bool) (outcome, error) {
+		cfg := autoncs.DefaultConfig()
+		cfg.Seed = seed
+		cfg.SkipPhysical = true
+		cfg.Workers = workers
+		cfg.Multilevel = multilevel
+		cfg.MultilevelCutoff = cutoff
+		m := &autoncs.MetricsObserver{}
+		cfg.Observer = obs.Multi(ob, m)
+		start := time.Now()
+		res, err := autoncs.CompileCtx(ctx, net, cfg)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{
+			wall:      time.Since(start),
+			crossbars: len(res.Assignment.Crossbars),
+			synapses:  len(res.Assignment.Synapses),
+			iters:     len(res.Trace),
+			outliers:  res.Assignment.OutlierRatio(),
+			stats:     m.Snapshot(),
+		}, nil
+	}
+	flat, err := engine(false)
+	if err != nil {
+		return err
+	}
+	ml, err := engine(true)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "engine\twall time\tcrossbars\tsynapses\toutliers\titerations")
+	fmt.Fprintf(w, "flat\t%v\t%d\t%d\t%.2f%%\t%d\n",
+		flat.wall.Round(time.Millisecond), flat.crossbars, flat.synapses, 100*flat.outliers, flat.iters)
+	fmt.Fprintf(w, "multilevel\t%v\t%d\t%d\t%.2f%%\t%d\n",
+		ml.wall.Round(time.Millisecond), ml.crossbars, ml.synapses, 100*ml.outliers, ml.iters)
+	w.Flush()
+	speedup := float64(flat.wall) / float64(ml.wall)
+	cs := ml.stats.LastClusterStats
+	fmt.Printf("multilevel speedup: %.2fx (cutoff %d)\n", speedup, cutoff)
+	fmt.Printf("engine: %d multilevel + %d flat rounds, depth %d, %d matchings, %d eigensolves (%d warm), %d refine moves\n",
+		cs.MultilevelRounds, cs.FlatRounds, cs.MaxDepth, cs.Matchings, cs.Eigensolves, cs.WarmStarts, cs.RefineMoves)
+	rec.metric("flat_seconds", flat.wall.Seconds())
+	rec.metric("multilevel_seconds", ml.wall.Seconds())
+	rec.metric("cluster_speedup", speedup)
+	rec.metric("flat_crossbars", float64(flat.crossbars))
+	rec.metric("multilevel_crossbars", float64(ml.crossbars))
+	rec.metric("flat_outlier_ratio", flat.outliers)
+	rec.metric("multilevel_outlier_ratio", ml.outliers)
+	rec.metric("multilevel_eigensolves", float64(cs.Eigensolves))
+	rec.metric("multilevel_warm_starts", float64(cs.WarmStarts))
+	rec.metric("multilevel_refine_moves", float64(cs.RefineMoves))
 	return nil
 }
 

@@ -27,6 +27,23 @@ func TestValidateConfig(t *testing.T) {
 		{"quantile NaN", func(c *Config) { c.SelectionQuantile = math.NaN() }, "SelectionQuantile is NaN"},
 		{"quantile above one", func(c *Config) { c.SelectionQuantile = 2 }, "SelectionQuantile = 2"},
 		{"quantile negative ok", func(c *Config) { c.SelectionQuantile = -1 }, ""},
+		{"multilevel defaults ok", func(c *Config) { c.Multilevel = true }, ""},
+		{"multilevel explicit ok", func(c *Config) {
+			c.Multilevel = true
+			c.MultilevelCutoff = 256
+			c.CoarsenRatio = 0.7
+			c.MultilevelLevels = 4
+		}, ""},
+		{"cutoff one", func(c *Config) { c.MultilevelCutoff = 1 }, "MultilevelCutoff = 1"},
+		{"cutoff negative", func(c *Config) { c.MultilevelCutoff = -8 }, "MultilevelCutoff = -8"},
+		{"cutoff minimal ok", func(c *Config) { c.MultilevelCutoff = 2 }, ""},
+		{"ratio NaN", func(c *Config) { c.CoarsenRatio = math.NaN() }, "CoarsenRatio"},
+		{"ratio negative", func(c *Config) { c.CoarsenRatio = -0.5 }, "CoarsenRatio = -0.5"},
+		{"ratio one", func(c *Config) { c.CoarsenRatio = 1 }, "CoarsenRatio = 1"},
+		{"ratio above one", func(c *Config) { c.CoarsenRatio = 1.5 }, "CoarsenRatio = 1.5"},
+		// The multilevel knobs are validated with the engine off too: a
+		// Config is either valid for every engine or invalid for all.
+		{"levels negative", func(c *Config) { c.MultilevelLevels = -1 }, "MultilevelLevels = -1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

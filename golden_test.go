@@ -131,6 +131,105 @@ func TestCompileGolden(t *testing.T) {
 	}
 }
 
+// mlCutoff forces the multilevel engine to engage on the golden-scale nets
+// (the production default of 1024 would leave all four on the flat path).
+const mlCutoff = 64
+
+func compileSummaryML(t *testing.T, gc goldenCase, workers int) ([]byte, autoncs.MetricsSnapshot) {
+	t.Helper()
+	net := autoncs.RandomSparseNetwork(gc.N, gc.Sparsity, gc.Seed)
+	cfg := autoncs.DefaultConfig()
+	cfg.Seed = gc.Seed
+	cfg.SkipPhysical = true
+	cfg.Workers = workers
+	cfg.Multilevel = true
+	cfg.MultilevelCutoff = mlCutoff
+	m := &autoncs.MetricsObserver{}
+	cfg.Observer = m
+	res, err := autoncs.Compile(net, cfg)
+	if err != nil {
+		t.Fatalf("multilevel compile %s (workers=%d): %v", gc.Name, workers, err)
+	}
+	if err := res.Assignment.Validate(net); err != nil {
+		t.Fatalf("multilevel compile %s (workers=%d): invalid assignment: %v", gc.Name, workers, err)
+	}
+	out, err := json.MarshalIndent(summarize(res, net), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n'), m.Snapshot()
+}
+
+// TestCompileGoldenMultilevel locks the multilevel engine's output the same
+// way TestCompileGolden locks the flat engine's: byte-identical summaries
+// for every worker count, pinned golden files, and — since the multilevel
+// path is an approximation of the flat spectral pass — explicit quality
+// accounting against the flat goldens: the outlier ratio may exceed the
+// flat engine's by at most 0.10 absolute, and the cluster (crossbar) count
+// must stay within [0.6, 1.4]× the flat count. (Measured: the multilevel
+// engine beats the flat outlier ratio on n120 and n200 at equal crossbar
+// counts, and trades ~35% fewer crossbars for ≤0.08 extra outliers on the
+// larger nets.)
+func TestCompileGoldenMultilevel(t *testing.T) {
+	workerSet := []int{1, runtime.NumCPU(), 2 * runtime.NumCPU(), 7}
+	for _, gc := range goldenCases {
+		gc := gc
+		t.Run(gc.Name, func(t *testing.T) {
+			if raceEnabled && gc.N > 500 {
+				t.Skip("multilevel Lanczos compile takes minutes under the race detector; its kernels are race-tested per package")
+			}
+			path := filepath.Join("testdata", "golden", gc.Name+"_ml.json")
+			serial, snap := compileSummaryML(t, gc, 1)
+			if snap.LastClusterStats.MultilevelRounds == 0 {
+				t.Fatalf("multilevel engine never engaged (cutoff %d, N %d): %+v",
+					mlCutoff, gc.N, snap.LastClusterStats)
+			}
+			for _, w := range workerSet[1:] {
+				if got, _ := compileSummaryML(t, gc, w); string(got) != string(serial) {
+					t.Fatalf("Workers=%d diverged from Workers=1:\n%s\nvs\n%s", w, got, serial)
+				}
+			}
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, serial, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run `go test -run TestCompileGoldenMultilevel -update`): %v", err)
+				}
+				if string(want) != string(serial) {
+					t.Errorf("golden mismatch for %s:\ngot:\n%s\nwant:\n%s", gc.Name, serial, want)
+				}
+			}
+			// Quality gates against the flat golden.
+			flatRaw, err := os.ReadFile(filepath.Join("testdata", "golden", gc.Name+".json"))
+			if err != nil {
+				t.Fatalf("flat golden missing: %v", err)
+			}
+			var flat, ml goldenSummary
+			if err := json.Unmarshal(flatRaw, &flat); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(serial, &ml); err != nil {
+				t.Fatal(err)
+			}
+			if ml.OutlierRatio > flat.OutlierRatio+0.10 {
+				t.Errorf("multilevel outlier ratio %.5f, flat %.5f (tolerance +0.10)",
+					ml.OutlierRatio, flat.OutlierRatio)
+			}
+			lo, hi := int(0.6*float64(flat.Crossbars)), int(1.4*float64(flat.Crossbars))+1
+			if ml.Crossbars < lo || ml.Crossbars > hi {
+				t.Errorf("multilevel produced %d crossbars, flat %d (allowed [%d,%d])",
+					ml.Crossbars, flat.Crossbars, lo, hi)
+			}
+		})
+	}
+}
+
 // TestCompilePhysicalDeterminism extends the contract through the physical
 // design: place, route (batched maze router), and cost must agree exactly
 // between worker counts.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/route"
 )
 
@@ -37,6 +38,9 @@ import (
 //     hashed network and library); every negative value (DisabledThreshold
 //     included) hashes as -1.
 //   - Route.BatchSize 0 hashes as the router's default batch size.
+//   - The multilevel knobs hash as their effective values (zero spellings
+//     fold to the defaults); with Multilevel off they are inert and all
+//     spellings hash as the defaults.
 //   - Negative zero hashes as positive zero for every float knob.
 //
 // Excluded entirely are the knobs the determinism contract proves
@@ -49,7 +53,7 @@ func CanonicalHash(net *Network, cfg Config) ([32]byte, error) {
 		return key, err
 	}
 	h := sha256.New()
-	io.WriteString(h, "autoncs-cache-key/v1\n")
+	io.WriteString(h, "autoncs-cache-key/v2\n")
 	h.Write(net.AppendBinary(nil))
 	e := hashEncoder{w: h}
 
@@ -72,6 +76,28 @@ func CanonicalHash(net *Network, cfg Config) ([32]byte, error) {
 
 	e.f64(canonThreshold(cfg.UtilizationThreshold))
 	e.f64(canonQuantile(cfg.SelectionQuantile))
+
+	// Multilevel engine knobs. When the engine is off the knobs are inert,
+	// so they fold to the canonical defaults — every flat-engine spelling
+	// hashes equal; when it is on, the effective (defaulted) values hash.
+	if cfg.Multilevel {
+		e.uint(1)
+		cutoff, ratio := cfg.MultilevelCutoff, cfg.CoarsenRatio
+		if cutoff == 0 {
+			cutoff = core.DefaultMultilevelCutoff
+		}
+		if ratio == 0 {
+			ratio = core.DefaultCoarsenRatio
+		}
+		e.uint(uint64(cutoff))
+		e.f64(ratio)
+		e.uint(uint64(cfg.MultilevelLevels))
+	} else {
+		e.uint(0)
+		e.uint(uint64(core.DefaultMultilevelCutoff))
+		e.f64(core.DefaultCoarsenRatio)
+		e.uint(0)
+	}
 
 	p := cfg.Place
 	e.f64(p.Gamma)

@@ -61,6 +61,44 @@ type scratch struct {
 	kmWS   kmeans.Workspace
 	ptsBuf []float64
 	ptsHdr [][]float64
+
+	// Multilevel-mode state; zero (and unused) on the default flat path.
+	ml        mlOptions
+	mlSc      *mlScratch
+	stats     *EngineStats // non-nil iff ml.enabled
+	warm      warmState
+	lapOp     matrix.CSRLaplacianOp
+	opFn      matrix.MulVecFunc // stored once: sc.lapOp.Mul without a per-call closure
+	rng       *rand.Rand        // re-seeded per warm solve; no allocation per iteration
+	uDense    *matrix.Dense     // D^{-1/2}-scaled eigenvector matrix of the warm path
+	emb       spectralEmbedding // the warm path's reused embedding header
+	activeBuf []int
+}
+
+// collectActive builds the active-neuron list and the global→local map over
+// scratch-owned storage. At most one live (active, g2l) pair per scratch:
+// a subsequent call overwrites both, which every caller satisfies (one
+// embedding is consumed before the next is built).
+func (sc *scratch) collectActive(csr *graph.CSR, n int) ([]int, []int32) {
+	lapDeg := csr.LaplacianDegrees()
+	if cap(sc.g2l) < n {
+		sc.g2l = make([]int32, n)
+	}
+	g2l := sc.g2l[:n]
+	if cap(sc.activeBuf) < n {
+		sc.activeBuf = make([]int, 0, n)
+	}
+	active := sc.activeBuf[:0]
+	for i := 0; i < n; i++ {
+		if lapDeg[i] > 0 {
+			g2l[i] = int32(len(active))
+			active = append(active, i)
+		} else {
+			g2l[i] = -1
+		}
+	}
+	sc.activeBuf = active
+	return active, g2l
 }
 
 // spectralEmbedding computes the generalized eigendecomposition
@@ -80,20 +118,7 @@ func newSpectralEmbedding(w *graph.Conn, kHint, workers int, sc *scratch) (*spec
 	// dense O(n²) Laplacian materialization of the original implementation.
 	csr := w.SymmetrizedCSR()
 	lapDeg := csr.LaplacianDegrees()
-	n := w.N()
-	if cap(sc.g2l) < n {
-		sc.g2l = make([]int32, n)
-	}
-	g2l := sc.g2l[:n]
-	var active []int
-	for i := 0; i < n; i++ {
-		if lapDeg[i] > 0 {
-			g2l[i] = int32(len(active))
-			active = append(active, i)
-		} else {
-			g2l[i] = -1
-		}
-	}
+	active, g2l := sc.collectActive(csr, w.N())
 	if len(active) == 0 {
 		return &spectralEmbedding{}, nil
 	}
@@ -141,11 +166,17 @@ func lanczosEmbedding(csr *graph.CSR, active []int, g2l []int32, kHint, workers 
 	local := csr.RestrictTo(active, g2l, &sc.local)
 	deg := local.LaplacianDegrees()
 	rowPtr, col := local.Arrays()
+	if sc.ml.enabled {
+		// Multilevel mode reaches this path only for active networks at or
+		// below the multilevel cutoff (the ISC tail): the adaptive solver with
+		// a warm start carried from the previous iteration's Ritz basis.
+		return sc.warmLanczosEmbedding(active, deg, rowPtr, col, na, k, workers)
+	}
 	op, err := matrix.NormalizedLaplacianCSRN(na, deg, rowPtr, col, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: lanczos embedding: %w", err)
 	}
-	_, vecs, err := matrix.LanczosSmallestWS(&sc.lanWS, op, na, k, rand.New(rand.NewSource(0x5eed)), workers)
+	_, vecs, err := matrix.LanczosSmallestWS(&sc.lanWS, op, na, k, rand.New(rand.NewSource(lanczosSeed)), workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: lanczos embedding: %w", err)
 	}
@@ -444,6 +475,10 @@ type Iteration struct {
 type ISCResult struct {
 	Assignment *xbar.Assignment
 	Trace      []Iteration
+	// Engine summarizes the clustering engine's work (multilevel rounds,
+	// matchings, eigensolves, warm starts, timings). Zero when the flat
+	// engine ran without the multilevel option.
+	Engine EngineStats
 }
 
 // ISCOptions tunes Algorithm 3.
@@ -468,9 +503,28 @@ type ISCOptions struct {
 	// rejected. The clustering is bit-identical for every worker count.
 	Workers int
 	// Observer, when non-nil, receives an obs.ISCIteration event after
-	// every round of the loop. Observers are passive: they cannot change
+	// every round of the loop (and, in multilevel mode, one obs.ClusterStats
+	// summary after the loop). Observers are passive: they cannot change
 	// the clustering.
 	Observer obs.Observer
+	// Multilevel enables the coarsen→solve→uncoarsen clustering engine for
+	// iterations whose active network exceeds MultilevelCutoff, with
+	// warm-started adaptive Lanczos solves below it. Off by default: the
+	// flat engine is the paper-faithful reference path and its results are
+	// golden-pinned.
+	Multilevel bool
+	// MultilevelCutoff is the active-neuron count at or below which an
+	// iteration uses the flat engine (and the coarse-graph size coarsening
+	// aims for). Zero means DefaultMultilevelCutoff; values below 2 are
+	// rejected. Ignored unless Multilevel is set, but validated regardless.
+	MultilevelCutoff int
+	// CoarsenRatio is the minimum shrink a coarsening level must achieve to
+	// continue (coarse/fine node ratio). Zero means DefaultCoarsenRatio;
+	// values outside (0,1) are rejected. Validated regardless of Multilevel.
+	CoarsenRatio float64
+	// MultilevelLevels bounds the coarsening depth. Zero means unbounded;
+	// negative is rejected.
+	MultilevelLevels int
 }
 
 func (o *ISCOptions) normalize() error {
@@ -494,6 +548,21 @@ func (o *ISCOptions) normalize() error {
 	}
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 100
+	}
+	if o.MultilevelCutoff == 0 {
+		o.MultilevelCutoff = DefaultMultilevelCutoff
+	}
+	if o.MultilevelCutoff < 2 {
+		return fmt.Errorf("core: multilevel cutoff %d below 2", o.MultilevelCutoff)
+	}
+	if o.CoarsenRatio == 0 {
+		o.CoarsenRatio = DefaultCoarsenRatio
+	}
+	if math.IsNaN(o.CoarsenRatio) || o.CoarsenRatio <= 0 || o.CoarsenRatio >= 1 {
+		return fmt.Errorf("core: coarsen ratio %g outside (0,1)", o.CoarsenRatio)
+	}
+	if o.MultilevelLevels < 0 {
+		return fmt.Errorf("core: negative multilevel level bound %d", o.MultilevelLevels)
 	}
 	return nil
 }
@@ -542,12 +611,24 @@ func ISCCtx(ctx context.Context, w *graph.Conn, opts ISCOptions) (*ISCResult, er
 
 	// One scratch for the whole loop: every iteration's spectral restriction,
 	// Lanczos solve, and k-means passes draw from the same grown-once buffers.
+	// In multilevel mode the scratch also carries the hierarchy and the warm
+	// Ritz basis from iteration to iteration.
+	var engine EngineStats
 	sc := &scratch{}
+	if opts.Multilevel {
+		sc.ml = mlOptions{
+			enabled:   true,
+			cutoff:    opts.MultilevelCutoff,
+			ratio:     opts.CoarsenRatio,
+			maxLevels: opts.MultilevelLevels,
+		}
+		sc.stats = &engine
+	}
 	for iter := 1; iter <= opts.MaxIterations && remaining.NNZ() > 0; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: ISC cancelled before iteration %d: %w", iter, err)
 		}
-		clusters, err := gcpN(remaining, lib.Max(), rng, workers, sc)
+		clusters, err := clusterRound(remaining, lib.Max(), rng, workers, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -616,7 +697,45 @@ func ISCCtx(ctx context.Context, w *graph.Conn, opts ISCOptions) (*ISCResult, er
 		}
 	}
 	assign.Synapses = remaining.Edges()
-	return &ISCResult{Assignment: assign, Trace: trace}, nil
+	if opts.Multilevel {
+		obs.Emit(opts.Observer, obs.ClusterStats{
+			MultilevelRounds: engine.MultilevelRounds,
+			FlatRounds:       engine.FlatRounds,
+			Levels:           engine.Levels,
+			MaxDepth:         engine.MaxDepth,
+			Matchings:        engine.Matchings,
+			Eigensolves:      engine.Eigensolves,
+			WarmStarts:       engine.WarmStarts,
+			LanczosSteps:     engine.LanczosSteps,
+			RefineMoves:      engine.RefineMoves,
+			CoarsenTime:      engine.CoarsenTime,
+			SolveTime:        engine.SolveTime,
+			RefineTime:       engine.RefineTime,
+		})
+	}
+	return &ISCResult{Assignment: assign, Trace: trace, Engine: engine}, nil
+}
+
+// clusterRound produces one ISC round's clusters: the flat GCP pass by
+// default, or — in multilevel mode, while the active network exceeds the
+// cutoff — the multilevel engine. The dispatch depends only on the remaining
+// network and the options, never on the worker count.
+func clusterRound(w *graph.Conn, maxSize int, rng *rand.Rand, workers int, sc *scratch) ([]Cluster, error) {
+	if !sc.ml.enabled {
+		return gcpN(w, maxSize, rng, workers, sc)
+	}
+	activeN := 0
+	for _, d := range w.SymmetrizedCSR().LaplacianDegrees() {
+		if d > 0 {
+			activeN++
+		}
+	}
+	if activeN > sc.ml.cutoff {
+		sc.stats.MultilevelRounds++
+		return multilevelCluster(w, maxSize, workers, sc)
+	}
+	sc.stats.FlatRounds++
+	return gcpN(w, maxSize, rng, workers, sc)
 }
 
 func outlierRatio(remaining *graph.Conn, total int) float64 {

@@ -184,6 +184,94 @@ func TestISCSelectionQuantileProperty(t *testing.T) {
 	}
 }
 
+// TestMultilevelRoundTripProperty: the coarsen/uncoarsen round trip is
+// checked level by level on the hierarchy the engine actually built. At
+// every level each fine node maps to exactly one in-range coarse node, node
+// weight is conserved through the contraction, and the uncoarsened partition
+// is a refinement of the coarse one up to boundary moves: a node may leave
+// its projected part only for an adjacent part, every part id at the fine
+// level already exists at the coarse level, and the node-weight cap holds
+// throughout.
+func TestMultilevelRoundTripProperty(t *testing.T) {
+	const maxSize = 16
+	for ni, w := range propNetworks(t) {
+		sc, st := mlScratchFor(24)
+		clusters, err := multilevelCluster(w, maxSize, 1, sc)
+		if err != nil {
+			t.Fatalf("net %d: %v", ni, err)
+		}
+		isPartitionOfActive(t, w, clusters)
+		depth := st.MaxDepth
+		if depth < 1 {
+			t.Fatalf("net %d: no hierarchy built (depth 0)", ni)
+		}
+		ml := sc.mlSc
+		for l := 0; l < depth; l++ {
+			fg, cg := ml.graphs[l], ml.graphs[l+1]
+			par := ml.parents[l]
+			if len(par) < fg.N {
+				t.Fatalf("net %d level %d: parent map covers %d of %d nodes", ni, l, len(par), fg.N)
+			}
+			// Exactly one in-range coarse node per fine node, none empty,
+			// node weight conserved through the contraction.
+			wsum := make([]int32, cg.N)
+			for v := 0; v < fg.N; v++ {
+				p := par[v]
+				if p < 0 || int(p) >= cg.N {
+					t.Fatalf("net %d level %d: parent[%d] = %d out of [0,%d)", ni, l, v, p, cg.N)
+				}
+				wsum[p] += fg.NodeW[v]
+			}
+			for c, ws := range wsum {
+				if ws == 0 {
+					t.Fatalf("net %d level %d: coarse node %d has no members", ni, l, c)
+				}
+				if ws != cg.NodeW[c] {
+					t.Fatalf("net %d level %d: coarse node %d weight %d, members sum to %d",
+						ni, l, c, cg.NodeW[c], ws)
+				}
+			}
+			// Refinement property: the fine partition uses only coarse part
+			// ids, and any node that left its projected part sits adjacent to
+			// its new part (boundary moves only).
+			fp, cp := ml.parts[l][:fg.N], ml.parts[l+1][:cg.N]
+			coarseIDs := make(map[int32]bool, cg.N)
+			for _, p := range cp {
+				coarseIDs[p] = true
+			}
+			for v := 0; v < fg.N; v++ {
+				p := fp[v]
+				if !coarseIDs[p] {
+					t.Fatalf("net %d level %d: node %d in part %d, which no coarse node has", ni, l, v, p)
+				}
+				if p == cp[par[v]] {
+					continue
+				}
+				adjacent := false
+				for _, u := range fg.Row(v) {
+					if fp[u] == p {
+						adjacent = true
+						break
+					}
+				}
+				if !adjacent {
+					t.Fatalf("net %d level %d: node %d moved to part %d with no neighbor there", ni, l, v, p)
+				}
+			}
+			// The node-weight cap survives projection and refinement.
+			pw := map[int32]int32{}
+			for v := 0; v < fg.N; v++ {
+				pw[fp[v]] += fg.NodeW[v]
+			}
+			for p, ws := range pw {
+				if int(ws) > maxSize {
+					t.Fatalf("net %d level %d: part %d weight %d exceeds cap %d", ni, l, p, ws, maxSize)
+				}
+			}
+		}
+	}
+}
+
 // TestISCRejectsBadOptions: option validation must fail fast with
 // descriptive errors instead of misbehaving later.
 func TestISCRejectsBadOptions(t *testing.T) {

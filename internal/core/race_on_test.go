@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The worker
+// invariance harness uses it to skip the largest net: the race coverage of
+// the multilevel kernels comes from the clustered case, which drives the
+// same code with a tenth of the wall time.
+const raceEnabled = true

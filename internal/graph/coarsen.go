@@ -1,0 +1,243 @@
+package graph
+
+// WGraph is a weighted undirected graph in CSR form with integer node
+// weights — the representation the multilevel clustering engine coarsens.
+// Level 0 is built from a restricted CSR with unit edge and node weights;
+// each coarser level merges matched node pairs, so an edge weight counts the
+// fine connections it represents and a node weight counts the fine neurons
+// collapsed into the node. Rows are sorted by ascending column and carry no
+// self-loops (intra-node edges are dropped at contraction, exactly like the
+// Laplacian's diagonal).
+type WGraph struct {
+	N      int
+	RowPtr []int32
+	Col    []int32
+	W      []float64 // edge weight, parallel to Col
+	NodeW  []int32   // fine-neuron count per node
+	Deg    []float64 // weighted degree: Σ W over the row
+}
+
+// Row returns the neighbor indices of node i (ascending).
+func (g *WGraph) Row(i int) []int32 { return g.Col[g.RowPtr[i]:g.RowPtr[i+1]] }
+
+// RowW returns the edge weights of node i's row, parallel to Row(i).
+func (g *WGraph) RowW(i int) []float64 { return g.W[g.RowPtr[i]:g.RowPtr[i+1]] }
+
+// TotalNodeW returns the summed node weight (the fine neuron count the graph
+// represents).
+func (g *WGraph) TotalNodeW() int {
+	t := 0
+	for _, w := range g.NodeW {
+		t += int(w)
+	}
+	return t
+}
+
+// reset sizes g for n nodes with empty rows, reusing backing storage.
+func (g *WGraph) reset(n int) {
+	g.N = n
+	if cap(g.RowPtr) < n+1 {
+		g.RowPtr = make([]int32, n+1)
+	}
+	g.RowPtr = g.RowPtr[:n+1]
+	g.Col = g.Col[:0]
+	g.W = g.W[:0]
+	if cap(g.NodeW) < n {
+		g.NodeW = make([]int32, n)
+	}
+	g.NodeW = g.NodeW[:n]
+	if cap(g.Deg) < n {
+		g.Deg = make([]float64, n)
+	}
+	g.Deg = g.Deg[:n]
+	for i := range g.NodeW {
+		g.NodeW[i] = 0
+	}
+	for i := range g.Deg {
+		g.Deg[i] = 0
+	}
+}
+
+// WGraphFromCSR fills dst with the unit-weight view of a restricted CSR
+// (every edge weight and node weight 1), reusing dst's storage. The CSR must
+// carry no self-loops, as produced by CSR.RestrictTo.
+func WGraphFromCSR(c *CSR, dst *WGraph) *WGraph {
+	n := c.N()
+	dst.reset(n)
+	rowPtr, col := c.Arrays()
+	copy(dst.RowPtr, rowPtr)
+	if cap(dst.Col) < len(col) {
+		dst.Col = make([]int32, len(col))
+		dst.W = make([]float64, len(col))
+	}
+	dst.Col = dst.Col[:len(col)]
+	dst.W = dst.W[:len(col)]
+	copy(dst.Col, col)
+	for i := range dst.W {
+		dst.W[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		dst.NodeW[i] = 1
+		dst.Deg[i] = float64(rowPtr[i+1] - rowPtr[i])
+	}
+	return dst
+}
+
+// CoarsenWS holds the reusable scratch of Coarsen: the matching array and
+// the stamp/position arrays of the coarse-row accumulation. A zero value is
+// ready to use.
+type CoarsenWS struct {
+	match []int32
+	stamp []int32
+	pos   []int32
+	memA  []int32
+	memB  []int32
+}
+
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// Coarsen contracts g one level by deterministic heavy-edge matching and
+// fills dst with the coarse graph. parent (reused when large enough) maps
+// every fine node to its coarse node; matched is the number of pairwise
+// contractions committed, so dst.N = g.N − matched.
+//
+// Determinism contract: the matching visits nodes in ascending index order;
+// an unmatched node v pairs with its unmatched neighbor of maximum edge
+// weight (ties broken toward the smallest index) whose combined node weight
+// stays within maxNodeW, or stays single if none qualifies. Coarse ids are
+// assigned in order of first appearance, and coarse rows are emitted sorted
+// by ascending column with merged edge weights summed in ascending fine-
+// neighbor order. No step depends on a worker count or random source, so the
+// hierarchy is a pure function of (g, maxNodeW).
+func Coarsen(g *WGraph, maxNodeW int, dst *WGraph, parent []int32, ws *CoarsenWS) (par []int32, matched int) {
+	n := g.N
+	ws.match = growInt32(ws.match, n)
+	match := ws.match
+	for i := range match {
+		match[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if match[v] >= 0 {
+			continue
+		}
+		best, bestW := int32(-1), 0.0
+		row, roww := g.Row(v), g.RowW(v)
+		for e, u := range row {
+			if int(u) == v || match[u] >= 0 {
+				continue
+			}
+			if int(g.NodeW[v])+int(g.NodeW[u]) > maxNodeW {
+				continue
+			}
+			if w := roww[e]; w > bestW || (w == bestW && (best < 0 || u < best)) {
+				best, bestW = u, w
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = int32(v)
+			matched++
+		} else {
+			match[v] = int32(v)
+		}
+	}
+
+	// Coarse ids in first-appearance order: a pair (v, u) with v < u takes
+	// its id at v; u inherits it.
+	parent = growInt32(parent, n)
+	coarseN := 0
+	for v := 0; v < n; v++ {
+		if int(match[v]) < v {
+			parent[v] = parent[match[v]]
+			continue
+		}
+		parent[v] = int32(coarseN)
+		coarseN++
+	}
+
+	// Member lists: memA is the id-owning member, memB its mate (-1 single).
+	ws.memA = growInt32(ws.memA, coarseN)
+	ws.memB = growInt32(ws.memB, coarseN)
+	for v := 0; v < n; v++ {
+		if int(match[v]) < v {
+			continue
+		}
+		c := parent[v]
+		ws.memA[c] = int32(v)
+		if int(match[v]) == v {
+			ws.memB[c] = -1
+		} else {
+			ws.memB[c] = match[v]
+		}
+	}
+
+	// Assemble coarse rows: merge the members' neighbor lists, mapping
+	// through parent and summing duplicate weights; internal edges vanish.
+	dst.reset(coarseN)
+	ws.stamp = growInt32(ws.stamp, coarseN)
+	ws.pos = growInt32(ws.pos, coarseN)
+	for i := range ws.stamp {
+		ws.stamp[i] = -1
+	}
+	for c := 0; c < coarseN; c++ {
+		start := len(dst.Col)
+		nodeW := int32(0)
+		for _, m := range [2]int32{ws.memA[c], ws.memB[c]} {
+			if m < 0 {
+				continue
+			}
+			nodeW += g.NodeW[m]
+			row, roww := g.Row(int(m)), g.RowW(int(m))
+			for e, u := range row {
+				cu := parent[u]
+				if int(cu) == c {
+					continue
+				}
+				if ws.stamp[cu] != int32(c) {
+					ws.stamp[cu] = int32(c)
+					ws.pos[cu] = int32(len(dst.Col))
+					dst.Col = append(dst.Col, cu)
+					dst.W = append(dst.W, roww[e])
+				} else {
+					dst.W[ws.pos[cu]] += roww[e]
+				}
+			}
+		}
+		sortColW(dst.Col[start:], dst.W[start:])
+		deg := 0.0
+		for _, w := range dst.W[start:] {
+			deg += w
+		}
+		dst.NodeW[c] = nodeW
+		dst.Deg[c] = deg
+		dst.RowPtr[c+1] = int32(len(dst.Col))
+	}
+	dst.RowPtr[0] = 0
+	return parent, matched
+}
+
+// sortColW sorts the (col, w) pairs by ascending col with a shellsort —
+// deterministic, in place, and allocation-free (rows are short; the gap
+// sequence keeps pathological hub rows near O(d^1.3)).
+func sortColW(col []int32, w []float64) {
+	n := len(col)
+	gap := 1
+	for gap < n/3 {
+		gap = 3*gap + 1
+	}
+	for ; gap > 0; gap /= 3 {
+		for i := gap; i < n; i++ {
+			c, x := col[i], w[i]
+			j := i
+			for ; j >= gap && col[j-gap] > c; j -= gap {
+				col[j], w[j] = col[j-gap], w[j-gap]
+			}
+			col[j], w[j] = c, x
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// wgraphOf builds the level-0 weighted graph of a connection matrix exactly
+// the way the multilevel engine does: symmetrize, restrict to the active
+// neurons, unit weights.
+func wgraphOf(t *testing.T, c *Conn) *WGraph {
+	t.Helper()
+	csr := c.SymmetrizedCSR()
+	lap := csr.LaplacianDegrees()
+	g2l := make([]int32, c.N())
+	var active []int
+	for i := 0; i < c.N(); i++ {
+		if lap[i] > 0 {
+			g2l[i] = int32(len(active))
+			active = append(active, i)
+		} else {
+			g2l[i] = -1
+		}
+	}
+	var local CSR
+	csr.RestrictTo(active, g2l, &local)
+	return WGraphFromCSR(&local, &WGraph{})
+}
+
+// checkWGraph asserts the structural invariants every WGraph level must
+// satisfy: sorted self-loop-free rows, symmetric edge weights, and Deg equal
+// to the row sum.
+func checkWGraph(t *testing.T, g *WGraph) {
+	t.Helper()
+	weight := func(i int, j int32) float64 {
+		row, roww := g.Row(i), g.RowW(i)
+		for e, u := range row {
+			if u == j {
+				return roww[e]
+			}
+		}
+		return 0
+	}
+	for i := 0; i < g.N; i++ {
+		row, roww := g.Row(i), g.RowW(i)
+		deg := 0.0
+		for e, u := range row {
+			if int(u) == i {
+				t.Fatalf("node %d carries a self-loop", i)
+			}
+			if e > 0 && row[e-1] >= u {
+				t.Fatalf("node %d row not strictly ascending: %v", i, row)
+			}
+			if w := weight(int(u), int32(i)); w != roww[e] {
+				t.Fatalf("asymmetric weight %d↔%d: %g vs %g", i, u, roww[e], w)
+			}
+			deg += roww[e]
+		}
+		if deg != g.Deg[i] {
+			t.Fatalf("node %d Deg %g, row sum %g", i, g.Deg[i], deg)
+		}
+	}
+}
+
+func TestCoarsenInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for name, conn := range map[string]*Conn{
+		"sparse":    RandomSparse(300, 0.92, rng),
+		"clustered": RandomClustered(240, 16, 0.55, 0.01, rng),
+	} {
+		g := wgraphOf(t, conn)
+		checkWGraph(t, g)
+		const maxNodeW = 16
+		var dst WGraph
+		var ws CoarsenWS
+		parent, matched := Coarsen(g, maxNodeW, &dst, nil, &ws)
+		if dst.N != g.N-matched {
+			t.Fatalf("%s: coarse N %d, want %d - %d", name, dst.N, g.N, matched)
+		}
+		if matched == 0 {
+			t.Fatalf("%s: matching found no contraction on a connected-ish graph", name)
+		}
+		checkWGraph(t, &dst)
+		// Every fine node maps to exactly one in-range coarse node, and
+		// every coarse node has at least one member.
+		members := make([]int, dst.N)
+		for v := 0; v < g.N; v++ {
+			p := parent[v]
+			if p < 0 || int(p) >= dst.N {
+				t.Fatalf("%s: parent[%d] = %d out of [0,%d)", name, v, p, dst.N)
+			}
+			members[p]++
+		}
+		for c, m := range members {
+			if m == 0 {
+				t.Fatalf("%s: coarse node %d has no members", name, c)
+			}
+		}
+		// Node weight is conserved and capped.
+		if dst.TotalNodeW() != g.TotalNodeW() {
+			t.Fatalf("%s: node weight %d, want %d", name, dst.TotalNodeW(), g.TotalNodeW())
+		}
+		for c, w := range dst.NodeW {
+			if int(w) > maxNodeW {
+				t.Fatalf("%s: coarse node %d weight %d exceeds cap %d", name, c, w, maxNodeW)
+			}
+		}
+		// Edge weight is conserved up to the contracted intra-node edges:
+		// coarse weight (c,d) must equal the summed fine weight between the
+		// member sets.
+		want := map[[2]int32]float64{}
+		for v := 0; v < g.N; v++ {
+			row, roww := g.Row(v), g.RowW(v)
+			for e, u := range row {
+				cv, cu := parent[v], parent[u]
+				if cv != cu {
+					want[[2]int32{cv, cu}] += roww[e]
+				}
+			}
+		}
+		got := 0
+		for c := 0; c < dst.N; c++ {
+			row, roww := dst.Row(c), dst.RowW(c)
+			for e, u := range row {
+				if w := want[[2]int32{int32(c), u}]; w != roww[e] {
+					t.Fatalf("%s: coarse edge (%d,%d) weight %g, want %g", name, c, u, roww[e], w)
+				}
+				got++
+			}
+		}
+		if got != len(want) {
+			t.Fatalf("%s: %d coarse edges, want %d", name, got, len(want))
+		}
+	}
+}
+
+func TestCoarsenDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := wgraphOf(t, RandomSparse(250, 0.93, rng))
+	run := func() (*WGraph, []int32, int) {
+		var dst WGraph
+		var ws CoarsenWS
+		parent, matched := Coarsen(g, 12, &dst, nil, &ws)
+		return &dst, parent, matched
+	}
+	a, pa, ma := run()
+	b, pb, mb := run()
+	if ma != mb || a.N != b.N {
+		t.Fatalf("runs disagree: matched %d vs %d, N %d vs %d", ma, mb, a.N, b.N)
+	}
+	for v := range pa {
+		if pa[v] != pb[v] {
+			t.Fatalf("parent[%d] differs: %d vs %d", v, pa[v], pb[v])
+		}
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] || a.W[i] != b.W[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestCoarsenHierarchyConservation(t *testing.T) {
+	// Repeated coarsening down to a small graph conserves total node weight
+	// at every level and respects the cap throughout.
+	rng := rand.New(rand.NewSource(31))
+	g := wgraphOf(t, RandomSparse(400, 0.95, rng))
+	total := g.TotalNodeW()
+	const maxNodeW = 64
+	var ws CoarsenWS
+	cur := g
+	for level := 0; cur.N > 32 && level < 20; level++ {
+		next := &WGraph{}
+		_, matched := Coarsen(cur, maxNodeW, next, nil, &ws)
+		if matched == 0 {
+			break
+		}
+		checkWGraph(t, next)
+		if next.TotalNodeW() != total {
+			t.Fatalf("level %d: node weight %d, want %d", level+1, next.TotalNodeW(), total)
+		}
+		for c, w := range next.NodeW {
+			if int(w) > maxNodeW {
+				t.Fatalf("level %d: node %d weight %d exceeds cap", level+1, c, w)
+			}
+		}
+		cur = next
+	}
+	if cur.N >= g.N {
+		t.Fatalf("hierarchy did not shrink: %d -> %d", g.N, cur.N)
+	}
+}

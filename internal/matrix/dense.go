@@ -47,6 +47,27 @@ func NewDenseFrom(rows [][]float64) *Dense {
 	return m
 }
 
+// Reshape resizes m in place to r×c, reusing its backing storage when large
+// enough, and zeroes every element. A nil receiver allocates a fresh matrix,
+// so callers can lazily grow a scratch matrix: m = m.Reshape(r, c).
+func (m *Dense) Reshape(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %d×%d", r, c))
+	}
+	if m == nil {
+		return NewDense(r, c)
+	}
+	if cap(m.data) < r*c {
+		m.data = make([]float64, r*c)
+	}
+	m.data = m.data[:r*c]
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	m.rows, m.cols = r, c
+	return m
+}
+
 // Identity returns the n×n identity matrix.
 func Identity(n int) *Dense {
 	m := NewDense(n, n)

@@ -30,6 +30,20 @@ type LanczosWS struct {
 	beta     []float64
 	proj     []float64
 	zBuf     []float64
+
+	// Adaptive-solver state (LanczosSmallestFrom): tridiagonal scratch, the
+	// ws-owned output the warm path returns, and the selection buffers of
+	// the allocation-free smallest-k extraction.
+	dwork   []float64
+	ework   []float64
+	valBuf  []float64
+	outBuf  []float64
+	out     Dense
+	zwork   Dense
+	selBuf  []int32
+	usedBuf []bool
+	resY    []float64 // assembled Ritz vector of the residual verification
+	resAY   []float64 // A·y of the residual verification
 }
 
 func growFloats(buf []float64, n int) []float64 {
@@ -317,6 +331,428 @@ func NormalizedLaplacianCSRN(n int, deg []float64, rowPtr, col []int32, workers 
 			dst[i] = src[i] - invSqrt[i]*acc
 		})
 	}, nil
+}
+
+// NormalizedLaplacianWeightedCSRN is NormalizedLaplacianCSRN for a weighted
+// adjacency: w holds the edge weights parallel to col, and deg the weighted
+// degrees. The multilevel clustering engine uses it on coarse graphs, where
+// an edge weight counts the fine connections it represents.
+func NormalizedLaplacianWeightedCSRN(n int, deg []float64, rowPtr, col []int32, w []float64, workers int) (MulVecFunc, error) {
+	if len(deg) != n {
+		return nil, fmt.Errorf("matrix: %d degrees for n=%d", len(deg), n)
+	}
+	if len(rowPtr) != n+1 {
+		return nil, fmt.Errorf("matrix: %d row pointers for n=%d", len(rowPtr), n)
+	}
+	if len(w) != len(col) {
+		return nil, fmt.Errorf("matrix: %d edge weights for %d columns", len(w), len(col))
+	}
+	invSqrt := make([]float64, n)
+	for i, d := range deg {
+		if d <= 0 {
+			return nil, fmt.Errorf("matrix: non-positive degree %g at %d", d, i)
+		}
+		invSqrt[i] = 1 / math.Sqrt(d)
+	}
+	return func(dst, src []float64) {
+		parallel.For(workers, n, func(i int) {
+			acc := 0.0
+			lo, hi := rowPtr[i], rowPtr[i+1]
+			for e := lo; e < hi; e++ {
+				acc += w[e] * invSqrt[col[e]] * src[col[e]]
+			}
+			dst[i] = src[i] - invSqrt[i]*acc
+		})
+	}, nil
+}
+
+// CSRLaplacianOp is the reusable-state form of NormalizedLaplacianCSRN: Init
+// rebinds it to a new (restricted) CSR without allocating once its invSqrt
+// buffer has grown, and Mul is a plain method — a caller that stores the
+// bound method value once (op := o.Mul) gets a MulVecFunc whose per-solve
+// setup performs zero steady-state allocations, which the closure-returning
+// constructors cannot offer. With Workers ≤ 1 the product runs as an inline
+// serial loop (no pool dispatch, no closure); the parallel path computes
+// each row in the identical fixed order, so results are bit-identical for
+// any worker count.
+type CSRLaplacianOp struct {
+	n       int
+	rowPtr  []int32
+	col     []int32
+	invSqrt []float64
+	workers int
+}
+
+// Init points the operator at a unit-weight CSR adjacency. The index slices
+// are retained, not copied; invSqrt storage is reused across Inits.
+func (o *CSRLaplacianOp) Init(n int, deg []float64, rowPtr, col []int32, workers int) error {
+	if len(deg) != n {
+		return fmt.Errorf("matrix: %d degrees for n=%d", len(deg), n)
+	}
+	if len(rowPtr) != n+1 {
+		return fmt.Errorf("matrix: %d row pointers for n=%d", len(rowPtr), n)
+	}
+	o.invSqrt = growFloats(o.invSqrt, n)
+	for i, d := range deg {
+		if d <= 0 {
+			return fmt.Errorf("matrix: non-positive degree %g at %d", d, i)
+		}
+		o.invSqrt[i] = 1 / math.Sqrt(d)
+	}
+	o.n, o.rowPtr, o.col, o.workers = n, rowPtr, col, workers
+	return nil
+}
+
+// Mul applies dst = L_sym·src. Arithmetic and accumulation order match
+// NormalizedLaplacianCSRN exactly.
+func (o *CSRLaplacianOp) Mul(dst, src []float64) {
+	if o.workers <= 1 {
+		for i := 0; i < o.n; i++ {
+			acc := 0.0
+			for _, j := range o.col[o.rowPtr[i]:o.rowPtr[i+1]] {
+				acc += o.invSqrt[j] * src[j]
+			}
+			dst[i] = src[i] - o.invSqrt[i]*acc
+		}
+		return
+	}
+	n, invSqrt, rowPtr, col := o.n, o.invSqrt, o.rowPtr, o.col
+	parallel.For(o.workers, n, func(i int) {
+		acc := 0.0
+		for _, j := range col[rowPtr[i]:rowPtr[i+1]] {
+			acc += invSqrt[j] * src[j]
+		}
+		dst[i] = src[i] - invSqrt[i]*acc
+	})
+}
+
+// adaptive-stop tuning of LanczosSmallestFrom: the first residual check runs
+// once the basis can resolve k pairs with headroom, then repeats on a fixed
+// cadence. Constants, so the checked step set — and therefore the result —
+// depends only on (n, k) and the convergence history, never on workers.
+const (
+	adaptMinSteps   = 16 // first check at 2k+adaptMinSteps basis vectors
+	adaptCheckEvery = 32
+	adaptTol        = 1e-6 // β·|z| screen, relative to the spectral scale
+	// adaptResTol is the verified-residual stop threshold. The β·|z| bound
+	// only screens: with full reorthogonalization the recurrence carries
+	// corrections the tridiagonal never sees, so the bound can undershoot
+	// the true residual by orders of magnitude (most of all on warm starts,
+	// whose converged directions regrow every step). A pair counts as
+	// converged only when its assembled Ritz vector satisfies
+	// ‖A·y − θ·y‖ ≤ adaptResTol·scale — clustering-grade accuracy.
+	adaptResTol = 1e-4
+)
+
+// LanczosSmallestFrom is the warm-start entry point of the solver: the
+// iteration starts from the caller's vector (the previous Ritz basis of a
+// monotonically shrinking ISC subgraph, collapsed onto the current active
+// set) instead of a random direction, and terminates early once the Ritz
+// residual bound β_m·|z_{m,i}| certifies the k smallest pairs to
+// clustering-grade accuracy — warm starts land in the target invariant
+// subspace, so the adaptive stop is what converts them into saved steps.
+// A degenerate start (zero norm) falls back to an rng-seeded random vector,
+// making the cold behaviour deterministic too.
+//
+// Unlike LanczosSmallestWS, the returned values and vectors live in ws and
+// are valid only until its next use; steps reports the Krylov dimension
+// reached. With workers ≤ 1 every kernel runs as an inline serial loop in
+// the same evaluation order as the chunked parallel path, so the solve is
+// allocation-free once ws has grown and bit-identical for any worker count.
+func LanczosSmallestFrom(ws *LanczosWS, mul MulVecFunc, n, k int, start []float64, rng *rand.Rand, workers int) (values []float64, vectors *Dense, steps int, err error) {
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("matrix: LanczosSmallestFrom k=%d out of (0,%d]", k, n))
+	}
+	maxSteps := 10 * k
+	if m := 4*k + 40; m > maxSteps {
+		maxSteps = m
+	}
+	if maxSteps > n {
+		maxSteps = n
+	}
+	ws.prepare(maxSteps, n)
+	basis := ws.basis
+	alpha := ws.alpha
+	beta := ws.beta
+
+	v := ws.v
+	norm0 := 0.0
+	if len(start) == n {
+		copy(v, start)
+		norm0 = math.Sqrt(dotVec(v, v))
+	}
+	if norm0 < 1e-300 {
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+	}
+	normalize(v)
+
+	firstCheck := 2*k + adaptMinSteps
+	w := ws.w
+	m := 0
+	for j := 0; j < maxSteps; j++ {
+		row := ws.basisBuf[j*n : (j+1)*n]
+		copy(row, v)
+		basis = append(basis, row)
+		m = j + 1
+		mul(w, v)
+		a := dotVec(w, v)
+		alpha = append(alpha, a)
+		for i := range w {
+			w[i] -= a * v[i]
+		}
+		if j > 0 {
+			b := beta[j-1]
+			prev := basis[j-1]
+			for i := range w {
+				w[i] -= b * prev[i]
+			}
+		}
+		orthogonalizeN(w, basis, ws.proj, workers)
+		b := math.Sqrt(dotVec(w, w))
+		if j == maxSteps-1 {
+			break
+		}
+		if m >= k && m >= firstCheck && (m-firstCheck)%adaptCheckEvery == 0 &&
+			ws.converged(mul, basis, alpha, beta, b, k, n) {
+			break
+		}
+		if b < 1e-13 {
+			// Invariant subspace: restart orthogonally, exactly like the
+			// fixed-step solver.
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+			orthogonalizeN(w, basis, ws.proj, workers)
+			nb := math.Sqrt(dotVec(w, w))
+			if nb < 1e-13 {
+				break
+			}
+			beta = append(beta, 0)
+			for i := range w {
+				v[i] = w[i] / nb
+			}
+			continue
+		}
+		beta = append(beta, b)
+		for i := range w {
+			v[i] = w[i] / b
+		}
+	}
+	if k > m {
+		k = m
+	}
+	// Final tridiagonal eigensolve and Ritz assembly into ws-owned output.
+	ws.dwork = growFloats(ws.dwork, m)
+	ws.ework = growFloats(ws.ework, m)
+	d := ws.dwork
+	e := ws.ework
+	copy(d, alpha[:m])
+	for i := range e {
+		e[i] = 0
+	}
+	copy(e[1:], beta[:min(m-1, len(beta))])
+	z := ws.identity(m)
+	if err := tql2(z, d, e); err != nil {
+		return nil, nil, m, fmt.Errorf("matrix: Lanczos projection eigensolve: %w", err)
+	}
+	sel := ws.selectSmallest(d, k)
+	ws.valBuf = growFloats(ws.valBuf, k)
+	for i, s := range sel {
+		ws.valBuf[i] = d[s]
+	}
+	ws.outBuf = growFloats(ws.outBuf, n*k)
+	ws.out = Dense{rows: n, cols: k, data: ws.outBuf[:n*k]}
+	out := ws.out.data
+	for i := range out {
+		out[i] = 0
+	}
+	if workers <= 1 {
+		for j := 0; j < m; j++ {
+			bj := basis[j]
+			zrow := z.data[j*m : (j+1)*m]
+			for row := 0; row < n; row++ {
+				b := bj[row]
+				vrow := out[row*k : (row+1)*k]
+				for col, s := range sel {
+					vrow[col] += b * zrow[s]
+				}
+			}
+		}
+	} else {
+		kk := k
+		parallel.ForChunks(workers, n, ritzChunk, func(_, lo, hi int) {
+			for j := 0; j < m; j++ {
+				bj := basis[j]
+				zrow := z.data[j*m : (j+1)*m]
+				for row := lo; row < hi; row++ {
+					b := bj[row]
+					vrow := out[row*kk : (row+1)*kk]
+					for col, s := range sel {
+						vrow[col] += b * zrow[s]
+					}
+				}
+			}
+		})
+	}
+	return ws.valBuf[:k], &ws.out, m, nil
+}
+
+// converged decides the adaptive stop at basis size m = len(alpha) in two
+// phases. First the cheap screen: eigensolve a copy of the tridiagonal
+// projection and require every one of the k smallest pairs to pass the
+// a-posteriori bound β_m·|z_{m,i}| ≤ adaptTol·scale (in exact arithmetic
+// this IS the residual, so an unconverged basis rarely reaches phase two).
+// Then the verification: assemble each candidate Ritz vector y = V·z_i and
+// require the true residual ‖A·y − θ·y‖ ≤ adaptResTol·scale — the screen
+// alone undershoots badly once reorthogonalization corrections (invisible
+// to the tridiagonal) dominate, which is exactly the warm-start regime.
+// The assembly is strictly serial and mul is bit-identical for any worker
+// count, so the stop decision — and therefore the solve — is too.
+func (ws *LanczosWS) converged(mul MulVecFunc, basis [][]float64, alpha, beta []float64, bNext float64, k, n int) bool {
+	m := len(alpha)
+	ws.dwork = growFloats(ws.dwork, m)
+	ws.ework = growFloats(ws.ework, m)
+	d := ws.dwork
+	e := ws.ework
+	copy(d, alpha)
+	for i := range e {
+		e[i] = 0
+	}
+	copy(e[1:], beta[:min(m-1, len(beta))])
+	z := ws.identity(m)
+	if tql2(z, d, e) != nil {
+		return false
+	}
+	sel := ws.selectSmallest(d, k)
+	scale := 0.0
+	for _, v := range d[:m] {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	for _, s := range sel {
+		if bNext*math.Abs(z.data[(m-1)*m+int(s)]) > adaptTol*scale {
+			return false
+		}
+	}
+	// Screen passed: verify the true residuals.
+	ws.resY = growFloats(ws.resY, n)
+	ws.resAY = growFloats(ws.resAY, n)
+	y, ay := ws.resY, ws.resAY
+	for _, s := range sel {
+		for i := range y {
+			y[i] = 0
+		}
+		for j := 0; j < m; j++ {
+			zj := z.data[j*m+int(s)]
+			if zj == 0 {
+				continue
+			}
+			bj := basis[j]
+			for i := range y {
+				y[i] += zj * bj[i]
+			}
+		}
+		mul(ay, y)
+		theta := d[s]
+		res := 0.0
+		for i := range y {
+			r := ay[i] - theta*y[i]
+			res += r * r
+		}
+		if math.Sqrt(res) > adaptResTol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// identity sizes zBuf as an m×m identity and returns a Dense header over it.
+func (ws *LanczosWS) identity(m int) *Dense {
+	ws.zBuf = growFloats(ws.zBuf, m*m)
+	ws.zwork = Dense{rows: m, cols: m, data: ws.zBuf[:m*m]}
+	z := &ws.zwork
+	for i := range z.data {
+		z.data[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		z.data[i*m+i] = 1
+	}
+	return z
+}
+
+// selectSmallest returns the indices of the k smallest entries of d in
+// ascending value order (ties toward the lower index) without sorting d —
+// an allocation-free replacement for sortEig in the adaptive solver, whose
+// workspace retains the selection buffer.
+func (ws *LanczosWS) selectSmallest(d []float64, k int) []int32 {
+	m := len(d)
+	if cap(ws.selBuf) < k {
+		ws.selBuf = make([]int32, k)
+	}
+	sel := ws.selBuf[:k]
+	if cap(ws.usedBuf) < m {
+		ws.usedBuf = make([]bool, m)
+	}
+	used := ws.usedBuf[:m]
+	for i := range used {
+		used[i] = false
+	}
+	for i := 0; i < k; i++ {
+		best := -1
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			if best < 0 || d[j] < d[best] {
+				best = j
+			}
+		}
+		used[best] = true
+		sel[i] = int32(best)
+	}
+	return sel
+}
+
+// orthogonalizeN is orthogonalize with an inline serial path for workers ≤ 1:
+// identical arithmetic in the identical order (per-element updates sweep the
+// basis in ascending j for both paths), but free of the per-call closure
+// allocations the pool dispatch costs — the warm ISC loop's zero-allocation
+// pin runs through here.
+func orthogonalizeN(w []float64, basis [][]float64, proj []float64, workers int) {
+	if workers > 1 {
+		orthogonalize(w, basis, proj, workers)
+		return
+	}
+	m := len(basis)
+	if m == 0 {
+		return
+	}
+	d := proj[:m]
+	for pass := 0; pass < 2; pass++ {
+		for j := 0; j < m; j++ {
+			d[j] = dotVec(w, basis[j])
+		}
+		for lo := 0; lo < len(w); lo += orthoChunk {
+			hi := lo + orthoChunk
+			if hi > len(w) {
+				hi = len(w)
+			}
+			for j := 0; j < m; j++ {
+				dj := d[j]
+				bj := basis[j][lo:hi]
+				wc := w[lo:hi]
+				for i := range wc {
+					wc[i] -= dj * bj[i]
+				}
+			}
+		}
+	}
 }
 
 func normalize(v []float64) {

@@ -18,21 +18,22 @@ type Metrics struct {
 // MetricsSnapshot is a point-in-time copy of everything a Metrics observer
 // has accumulated.
 type MetricsSnapshot struct {
-	Events         int // total events observed
-	Compiles       int // CompileStart events
-	ISCIterations  int
-	PlaceSteps     int // PlaceProgress checkpoints
-	RouteBatches   int
-	Relaxations    int // RouteRelaxation events
-	CacheHits      int // CacheLookup events with Hit
-	CacheMisses    int // CacheLookup events without Hit
-	StageTimes     map[Stage]time.Duration
-	CompileElapsed time.Duration // total wall time of the last finished compile
-	LastISC        ISCIteration
-	LastPlace      PlaceProgress
-	LastPlaceStats PlaceStats // stats of the last finished placement
-	LastRoute      RouteBatch
-	Err            error // error of the last StageEnd/CompileEnd that carried one
+	Events           int // total events observed
+	Compiles         int // CompileStart events
+	ISCIterations    int
+	PlaceSteps       int // PlaceProgress checkpoints
+	RouteBatches     int
+	Relaxations      int // RouteRelaxation events
+	CacheHits        int // CacheLookup events with Hit
+	CacheMisses      int // CacheLookup events without Hit
+	StageTimes       map[Stage]time.Duration
+	CompileElapsed   time.Duration // total wall time of the last finished compile
+	LastISC          ISCIteration
+	LastClusterStats ClusterStats // stats of the last finished multilevel ISC run
+	LastPlace        PlaceProgress
+	LastPlaceStats   PlaceStats // stats of the last finished placement
+	LastRoute        RouteBatch
+	Err              error // error of the last StageEnd/CompileEnd that carried one
 }
 
 // Observe implements Observer.
@@ -59,6 +60,8 @@ func (m *Metrics) Observe(e Event) {
 	case ISCIteration:
 		m.snap.ISCIterations++
 		m.snap.LastISC = e
+	case ClusterStats:
+		m.snap.LastClusterStats = e
 	case PlaceProgress:
 		m.snap.PlaceSteps++
 		m.snap.LastPlace = e

@@ -79,6 +79,28 @@ type ISCIteration struct {
 	OutlierRatio   float64 // remaining connections / total, after this round
 }
 
+// ClusterStats summarizes the clustering engine's work across one finished
+// ISC run in multilevel mode: how many rounds used the multilevel
+// (coarsen→solve→uncoarsen) engine vs the flat tail, the hierarchy and
+// eigensolve counters, and the kernel wall times. Emitted once per ISC run,
+// after the loop, and only when the multilevel engine is enabled — the
+// default flat path's event stream is unchanged. The timings are diagnostic
+// only; every counter is deterministic for any worker count.
+type ClusterStats struct {
+	MultilevelRounds int           // ISC rounds clustered by the multilevel engine
+	FlatRounds       int           // ISC rounds on the flat engine (below cutoff)
+	Levels           int           // coarsening levels built, summed over rounds
+	MaxDepth         int           // deepest hierarchy of any round
+	Matchings        int           // pairwise heavy-edge contractions committed
+	Eigensolves      int           // spectral solves (bisections + flat embeddings)
+	WarmStarts       int           // Lanczos solves seeded from a previous Ritz basis
+	LanczosSteps     int           // Krylov steps across all adaptive Lanczos solves
+	RefineMoves      int           // boundary moves applied during uncoarsening
+	CoarsenTime      time.Duration // wall time building the hierarchies
+	SolveTime        time.Duration // wall time in coarse partitioning
+	RefineTime       time.Duration // wall time projecting + refining
+}
+
 // PlaceProgress records one progress checkpoint of the placement λ loop
 // (every overlap evaluation, several per outer λ round): the outer round
 // the checkpointed step belongs to, the penalty weight λ that step ran
@@ -147,6 +169,7 @@ func (CompileEnd) event()      {}
 func (StageStart) event()      {}
 func (StageEnd) event()        {}
 func (ISCIteration) event()    {}
+func (ClusterStats) event()    {}
 func (PlaceProgress) event()   {}
 func (PlaceStats) event()      {}
 func (RouteBatch) event()      {}

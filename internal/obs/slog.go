@@ -42,6 +42,14 @@ func (s slogObserver) Observe(e Event) {
 			"iter", e.Index, "clusters", e.Clusters, "placed", e.Placed,
 			"quartileCP", e.QuartileCP, "avgUtil", e.AvgUtilization,
 			"threshold", e.Threshold, "outliers", e.OutlierRatio)
+	case ClusterStats:
+		s.l.Info("cluster stats",
+			"mlRounds", e.MultilevelRounds, "flatRounds", e.FlatRounds,
+			"levels", e.Levels, "maxDepth", e.MaxDepth,
+			"matchings", e.Matchings, "eigensolves", e.Eigensolves,
+			"warmStarts", e.WarmStarts, "lanczosSteps", e.LanczosSteps,
+			"refineMoves", e.RefineMoves, "coarsenTime", e.CoarsenTime,
+			"solveTime", e.SolveTime, "refineTime", e.RefineTime)
 	case PlaceProgress:
 		s.l.Debug("place progress",
 			"outer", e.Outer, "step", e.Step, "lambda", e.Lambda,
