@@ -153,6 +153,8 @@ func typeSequence(events []obs.Event) string {
 			b.WriteString("batch;")
 		case obs.RouteRelaxation:
 			b.WriteString("relax;")
+		case obs.RouteStats:
+			b.WriteString("route-stats;")
 		default:
 			b.WriteString("unknown;")
 		}
@@ -219,7 +221,7 @@ func TestObserverEventSequence(t *testing.T) {
 			if open != string(autoncs.StagePlace) {
 				t.Fatalf("event %d: PlaceProgress outside place (in %q)", i, open)
 			}
-		case obs.RouteBatch, obs.RouteRelaxation:
+		case obs.RouteBatch, obs.RouteRelaxation, obs.RouteStats:
 			if open != string(autoncs.StageRoute) {
 				t.Fatalf("event %d: %T outside route (in %q)", i, e, open)
 			}
@@ -284,6 +286,9 @@ func TestMetricsObserverOnCompile(t *testing.T) {
 	}
 	if snap.PlaceSteps == 0 || snap.RouteBatches == 0 {
 		t.Errorf("no progress events: %+v", snap)
+	}
+	if snap.LastRouteStats.Wires == 0 || snap.LastRouteStats.FinalCapacity == 0 {
+		t.Errorf("LastRouteStats not populated: %+v", snap.LastRouteStats)
 	}
 	if snap.Err != nil {
 		t.Errorf("Err = %v", snap.Err)

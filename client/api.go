@@ -35,6 +35,21 @@ type CompileRequest struct {
 	// FullCro runs the paper's maximum-size-crossbar baseline flow
 	// instead of ISC. Baseline results are cached under their own keys.
 	FullCro bool `json:"full_cro,omitempty"`
+
+	// Multilevel enables the multilevel clustering engine
+	// (Config.Multilevel); the three knobs below refine it and are inert
+	// without it. Zero values mean the library defaults.
+	Multilevel bool `json:"multilevel,omitempty"`
+	// MultilevelCutoff is Config.MultilevelCutoff (0 = default).
+	MultilevelCutoff int `json:"multilevel_cutoff,omitempty"`
+	// CoarsenRatio is Config.CoarsenRatio (0 = default).
+	CoarsenRatio float64 `json:"coarsen_ratio,omitempty"`
+	// MultilevelLevels is Config.MultilevelLevels (0 = adaptive).
+	MultilevelLevels int `json:"multilevel_levels,omitempty"`
+
+	// LegacyRouter selects the capacity-relaxation router instead of the
+	// default negotiated-congestion engine (Config.Route.Negotiate=false).
+	LegacyRouter bool `json:"legacy_router,omitempty"`
 }
 
 // RandomSpec describes a server-side generated random sparse network.

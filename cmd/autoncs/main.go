@@ -43,6 +43,7 @@ func main() {
 		quantile = flag.Float64("quantile", 0, "ISC partial-selection quantile (0 = paper's 0.75)")
 		multilvl = flag.Bool("multilevel", false, "cluster large iterations with the multilevel engine (see docs/clustering.md)")
 		mlCutoff = flag.Int("ml-cutoff", 0, "with -multilevel: active-neuron count at or below which iterations use the flat engine (0 = default 1024)")
+		legacyRt = flag.Bool("legacy-router", false, "route with the capacity-relaxation engine instead of negotiated congestion (see docs/routing.md)")
 		loadPath = flag.String("load", "", "load the network from a file (autoncs-net format)")
 		savePath = flag.String("save", "", "save the generated network to a file before compiling")
 		dumpPath = flag.String("dump", "", "write the resulting hybrid assignment as JSON")
@@ -96,11 +97,15 @@ func main() {
 	}
 
 	if *server != "" {
-		if *multilvl || *mlCutoff != 0 {
-			fmt.Fprintln(os.Stderr, "-multilevel is a local-compile option; the compile service does not accept it yet")
-			os.Exit(2)
+		req := client.CompileRequest{
+			Seed:              *seed,
+			SelectionQuantile: *quantile,
+			SkipPhysical:      *skipPhys,
+			Multilevel:        *multilvl,
+			MultilevelCutoff:  *mlCutoff,
+			LegacyRouter:      *legacyRt,
 		}
-		runRemote(ctx, *server, net, *seed, *quantile, *skipPhys, *baseline, *dumpPath)
+		runRemote(ctx, *server, net, req, *baseline, *dumpPath)
 		return
 	}
 
@@ -110,6 +115,7 @@ func main() {
 	cfg.SelectionQuantile = *quantile
 	cfg.Multilevel = *multilvl
 	cfg.MultilevelCutoff = *mlCutoff
+	cfg.Route.Negotiate = !*legacyRt
 	cfg.Workers = *workers
 	cfg.Observer = stderrObserver(*verbose, *trace)
 
@@ -210,21 +216,17 @@ func printResult(name string, res *autoncs.Result, showTimes bool) {
 }
 
 // runRemote ships the locally built network to an autoncsd instance and
-// renders the returned result in the same shape as the local summary. The
+// renders the returned result in the same shape as the local summary. req
+// carries the caller's flow knobs (multilevel, router selection, …); the
 // daemon caches by content address, so rerunning the same command answers
 // from the cache (reported in the summary).
-func runRemote(ctx context.Context, url string, net *autoncs.Network, seed int64, quantile float64, skipPhys, baseline bool, dumpPath string) {
+func runRemote(ctx context.Context, url string, net *autoncs.Network, req client.CompileRequest, baseline bool, dumpPath string) {
 	var buf bytes.Buffer
 	if err := net.Write(&buf); err != nil {
 		fmt.Fprintln(os.Stderr, "remote: encoding network:", err)
 		os.Exit(1)
 	}
-	req := client.CompileRequest{
-		Net:               buf.String(),
-		Seed:              seed,
-		SelectionQuantile: quantile,
-		SkipPhysical:      skipPhys,
-	}
+	req.Net = buf.String()
 	c := client.New(url)
 
 	auto := remoteCompile(ctx, c, req, "AutoNCS")

@@ -29,10 +29,12 @@ type StageStats struct {
 	StageTimes map[string]float64 `json:"stage_times_seconds,omitempty"`
 }
 
-// Baseline pins the pre-optimization reference measurement of the
-// compile2000 stage so the report carries its own comparison.
+// Baseline pins the pre-optimization reference measurement of one stage so
+// the report carries its own comparison. Stage names which stage the ratios
+// were computed against (-baseline-stage; compile2000 when omitted).
 type Baseline struct {
 	Ref         string  `json:"ref,omitempty"`
+	Stage       string  `json:"stage,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
 	Allocs      uint64  `json:"allocs"`
 }
@@ -56,9 +58,9 @@ type BenchReport struct {
 	Large     bool         `json:"large"`
 	Stages    []StageStats `json:"stages"`
 	// Baseline and the two ratios are present when -baseline-wall /
-	// -baseline-allocs were given and the compile2000 stage ran: SpeedupWall
-	// = baseline wall / current wall, AllocsRatio = baseline allocs /
-	// current allocs (higher is better for both).
+	// -baseline-allocs were given and the -baseline-stage stage ran:
+	// SpeedupWall = baseline wall / current wall, AllocsRatio = baseline
+	// allocs / current allocs (higher is better for both).
 	Baseline    *Baseline `json:"baseline,omitempty"`
 	SpeedupWall float64   `json:"speedup_wall,omitempty"`
 	AllocsRatio float64   `json:"allocs_ratio,omitempty"`
@@ -153,15 +155,15 @@ func (r *reporter) metric(name string, v float64) {
 	r.stage.Metrics[name] = v
 }
 
-// setBaseline embeds the pre-optimization compile2000 reference and
+// setBaseline embeds the pre-optimization reference of the named stage and
 // computes the speedup ratios against the stage of the same name.
-func (r *reporter) setBaseline(ref string, wallSeconds float64, allocs uint64) {
+func (r *reporter) setBaseline(stage, ref string, wallSeconds float64, allocs uint64) {
 	if r == nil || (wallSeconds == 0 && allocs == 0) {
 		return
 	}
-	r.rep.Baseline = &Baseline{Ref: ref, WallSeconds: wallSeconds, Allocs: allocs}
+	r.rep.Baseline = &Baseline{Ref: ref, Stage: stage, WallSeconds: wallSeconds, Allocs: allocs}
 	for _, st := range r.rep.Stages {
-		if st.Name != "compile2000" {
+		if st.Name != stage {
 			continue
 		}
 		if st.WallSeconds > 0 && wallSeconds > 0 {

@@ -41,6 +41,9 @@ import (
 //   - The multilevel knobs hash as their effective values (zero spellings
 //     fold to the defaults); with Multilevel off they are inert and all
 //     spellings hash as the defaults.
+//   - The negotiated-congestion knobs (Route.PresentFactor, HistoryGain,
+//     NegotiationRounds) hash the same way: effective values with
+//     Route.Negotiate on, the canonical defaults with it off.
 //   - Negative zero hashes as positive zero for every float knob.
 //
 // Excluded entirely are the knobs the determinism contract proves
@@ -53,7 +56,7 @@ func CanonicalHash(net *Network, cfg Config) ([32]byte, error) {
 		return key, err
 	}
 	h := sha256.New()
-	io.WriteString(h, "autoncs-cache-key/v2\n")
+	io.WriteString(h, "autoncs-cache-key/v3\n")
 	h.Write(net.AppendBinary(nil))
 	e := hashEncoder{w: h}
 
@@ -117,6 +120,30 @@ func CanonicalHash(net *Network, cfg Config) ([32]byte, error) {
 		bs = route.DefaultOptions().BatchSize
 	}
 	e.uint(uint64(bs))
+	// Negotiated-congestion knobs: inert on the legacy engine, so they fold
+	// to the canonical defaults; with negotiation on, the effective
+	// (defaulted) values hash.
+	if r.Negotiate {
+		e.uint(1)
+		pf, hg, rounds := r.PresentFactor, r.HistoryGain, r.NegotiationRounds
+		if pf == 0 {
+			pf = route.DefaultPresentFactor
+		}
+		if hg == 0 {
+			hg = route.DefaultHistoryGain
+		}
+		if rounds == 0 {
+			rounds = route.DefaultNegotiationRounds
+		}
+		e.f64(pf)
+		e.f64(hg)
+		e.uint(uint64(rounds))
+	} else {
+		e.uint(0)
+		e.f64(route.DefaultPresentFactor)
+		e.f64(route.DefaultHistoryGain)
+		e.uint(route.DefaultNegotiationRounds)
+	}
 
 	e.f64(cfg.Cost.Alpha)
 	e.f64(cfg.Cost.Beta)

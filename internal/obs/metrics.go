@@ -33,7 +33,8 @@ type MetricsSnapshot struct {
 	LastPlace        PlaceProgress
 	LastPlaceStats   PlaceStats // stats of the last finished placement
 	LastRoute        RouteBatch
-	Err              error // error of the last StageEnd/CompileEnd that carried one
+	LastRouteStats   RouteStats // stats of the last finished routing
+	Err              error      // error of the last StageEnd/CompileEnd that carried one
 }
 
 // Observe implements Observer.
@@ -72,6 +73,9 @@ func (m *Metrics) Observe(e Event) {
 		m.snap.LastRoute = e
 	case RouteRelaxation:
 		m.snap.Relaxations++
+	case RouteStats:
+		m.snap.LastRouteStats = e
+		m.snap.LastRouteStats.RoundTimes = cloneDurations(e.RoundTimes)
 	case CacheLookup:
 		if e.Hit {
 			m.snap.CacheHits++
@@ -93,5 +97,17 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			out.StageTimes[k] = v
 		}
 	}
+	out.LastRouteStats.RoundTimes = cloneDurations(m.snap.LastRouteStats.RoundTimes)
+	return out
+}
+
+// cloneDurations detaches a duration slice so snapshots never alias the
+// emitter's (or each other's) backing array.
+func cloneDurations(ds []time.Duration) []time.Duration {
+	if ds == nil {
+		return nil
+	}
+	out := make([]time.Duration, len(ds))
+	copy(out, ds)
 	return out
 }

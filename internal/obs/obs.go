@@ -154,6 +154,25 @@ type RouteRelaxation struct {
 	Pending     int // wires awaiting re-route under the new capacity
 }
 
+// RouteStats summarizes one finished routing: which engine produced the
+// result, the negotiation work (rounds, rip-ups, the peak count of
+// capacity-exceeding edges, per-round wall times), total maze-search heap
+// expansions, and the capacity-relaxation history — the legacy engine's
+// loop, or the bounded fallback a stalled negotiation degrades to. Emitted
+// once per route, after the last commit, by both engines. The round timings
+// are diagnostic only; every counter is deterministic for any worker count.
+type RouteStats struct {
+	Negotiated    bool            // the negotiated-congestion engine produced the result
+	Wires         int             // wires routed
+	Rounds        int             // negotiation rounds run (0 on the legacy engine)
+	RipUps        int             // wires ripped up and rerouted, summed over rounds
+	Expansions    int64           // heap pops across every maze search
+	OverusedPeak  int             // most over-capacity edges seen after any round
+	Relaxations   int             // capacity relaxations (legacy loop or fallback)
+	FinalCapacity int             // virtual edge capacity the result was committed under
+	RoundTimes    []time.Duration // wall time of each negotiation round
+}
+
 // CacheLookup records one content-addressed result-cache probe of the
 // serving layer (cmd/autoncsd): a hit means the compile was answered from
 // the store without running the flow. Emitted by the server, not by the
@@ -174,6 +193,7 @@ func (PlaceProgress) event()   {}
 func (PlaceStats) event()      {}
 func (RouteBatch) event()      {}
 func (RouteRelaxation) event() {}
+func (RouteStats) event()      {}
 func (CacheLookup) event()     {}
 
 // Observer receives the flow's events. Implementations must not block for

@@ -48,6 +48,7 @@ func TestMulti(t *testing.T) {
 func TestMetricsAccumulation(t *testing.T) {
 	m := &Metrics{}
 	failure := errors.New("boom")
+	roundTimes := []time.Duration{time.Millisecond, 2 * time.Millisecond}
 	events := []Event{
 		CompileStart{Neurons: 100, Connections: 500, Workers: 4},
 		StageStart{Stage: StageClustering},
@@ -62,6 +63,8 @@ func TestMetricsAccumulation(t *testing.T) {
 		StageStart{Stage: StageRoute},
 		RouteBatch{Batch: 1, Wires: 16, Committed: 16, Capacity: 8},
 		RouteRelaxation{Relaxations: 1, Capacity: 9, Pending: 2},
+		RouteStats{Negotiated: true, Wires: 16, Rounds: 3, RipUps: 5, Expansions: 1234,
+			OverusedPeak: 7, Relaxations: 1, FinalCapacity: 9, RoundTimes: roundTimes},
 		StageEnd{Stage: StageRoute, Elapsed: 2 * time.Second, Err: failure},
 		CompileEnd{Elapsed: 6 * time.Second, Err: failure},
 		CacheLookup{Key: "ab", Hit: false},
@@ -95,6 +98,16 @@ func TestMetricsAccumulation(t *testing.T) {
 		s.LastClusterStats.RefineMoves != 33 {
 		t.Errorf("LastClusterStats = %+v", s.LastClusterStats)
 	}
+	if !s.LastRouteStats.Negotiated || s.LastRouteStats.Rounds != 3 ||
+		s.LastRouteStats.Expansions != 1234 || s.LastRouteStats.FinalCapacity != 9 ||
+		len(s.LastRouteStats.RoundTimes) != 2 {
+		t.Errorf("LastRouteStats = %+v", s.LastRouteStats)
+	}
+	// The snapshot's round timings are detached from the emitter's slice.
+	roundTimes[0] = time.Hour
+	if s.LastRouteStats.RoundTimes[0] != time.Millisecond {
+		t.Error("snapshot shares RoundTimes with the emitter")
+	}
 	if s.CompileElapsed != 6*time.Second || !errors.Is(s.Err, failure) {
 		t.Errorf("CompileElapsed/Err wrong: %v %v", s.CompileElapsed, s.Err)
 	}
@@ -114,9 +127,10 @@ func TestSlogObserverLevels(t *testing.T) {
 	ob.Observe(RouteBatch{Batch: 2, Wires: 16})                                   // Debug: filtered at Info
 	ob.Observe(PlaceStats{Outer: 4, FieldSolves: 480, SwapsAccepted: 17})         // Info: summary event
 	ob.Observe(ClusterStats{MultilevelRounds: 3, Eigensolves: 12, WarmStarts: 2}) // Info: summary event
+	ob.Observe(RouteStats{Negotiated: true, Wires: 16, Rounds: 3, Expansions: 99, FinalCapacity: 9})
 	ob.Observe(StageEnd{Stage: StageClustering, Elapsed: time.Second, Err: errors.New("bad")})
 	out := buf.String()
-	for _, want := range []string{"stage start", "isc iteration", "iter=3", "place stats", "fieldSolves=480", "cluster stats", "eigensolves=12", "stage end", "err=bad"} {
+	for _, want := range []string{"stage start", "isc iteration", "iter=3", "place stats", "fieldSolves=480", "cluster stats", "eigensolves=12", "route stats", "expansions=99", "stage end", "err=bad"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("log output missing %q:\n%s", want, out)
 		}

@@ -68,6 +68,12 @@ func (s slogObserver) Observe(e Event) {
 	case RouteRelaxation:
 		s.l.Info("route relaxation",
 			"relaxations", e.Relaxations, "capacity", e.Capacity, "pending", e.Pending)
+	case RouteStats:
+		s.l.Info("route stats",
+			"negotiated", e.Negotiated, "wires", e.Wires, "rounds", e.Rounds,
+			"ripUps", e.RipUps, "expansions", e.Expansions,
+			"overusedPeak", e.OverusedPeak, "relaxations", e.Relaxations,
+			"finalCapacity", e.FinalCapacity)
 	case CacheLookup:
 		s.l.Info("cache lookup", "key", e.Key, "hit", e.Hit, "disk", e.Disk)
 	}

@@ -40,6 +40,45 @@ func TestMazeSearchAllocs(t *testing.T) {
 	}
 }
 
+// TestRouteNegotiateSearchAllocs pins the negotiation inner loop: once the
+// pooled biState has grown to the grid and the path buffer to the path
+// length, a warm bidirectional search allocates nothing — searches write
+// into the wire's reused Paths slot and the pooled scratch.
+func TestRouteNegotiateSearchAllocs(t *testing.T) {
+	g := testGrid(40, 40)
+	for i := range g.hUsage {
+		if i%5 == 0 {
+			g.hUsage[i] = 9 // over capacity: exercises the priced branch
+		}
+	}
+	ng := &negotiator{
+		g: g, capacity: 8, presentFactor: DefaultPresentFactor, round: 3,
+		histH: make([]float64, len(g.hUsage)),
+		histV: make([]float64, len(g.vUsage)),
+	}
+	for i := range ng.histH {
+		if i%11 == 0 {
+			ng.histH[i] = 4 * g.theta
+		}
+	}
+	bi := new(biState)
+	s, d := 0, g.cols*g.rows-1
+	buf, _ := ng.biSearch(bi, s, d, nil)
+	if buf == nil {
+		t.Fatal("warm-up search found no path")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		p, _ := ng.biSearch(bi, s, d, buf[:0])
+		if p == nil {
+			t.Fatal("search found no path")
+		}
+		buf = p
+	})
+	if allocs != 0 {
+		t.Fatalf("warm bidirectional search allocated %.1f times, want 0", allocs)
+	}
+}
+
 // TestSearchStateReuseMatchesFresh pins pool transparency: a search on a
 // reused (dirty) state returns the same path as a search on a fresh one.
 func TestSearchStateReuseMatchesFresh(t *testing.T) {

@@ -1,0 +1,462 @@
+// Negotiated-congestion routing (PathFinder): instead of blocking wires on
+// full edges and relaxing a global capacity, every edge stays usable at a
+// price. An edge's cost is
+//
+//	θ·(1 + presentFactor·round·max(0, u+1−capacity)) + history
+//
+// where u is the edge's current usage: the present term prices stepping
+// onto an edge that would end up over capacity (escalating with the round
+// number), and the history term accumulates historyGain·θ·overuse after
+// every round an edge finishes over capacity — so chronically contested
+// edges become expensive even when momentarily free, and wires negotiate
+// who detours. Deliberately unlike the legacy engine, sub-capacity usage is
+// free: an edge with headroom costs exactly θ (+ any history), so the
+// θ·Manhattan heuristic stays tight and searches expand narrow corridors
+// instead of flooding — pricing all usage inflates g-costs everywhere,
+// degrades A* toward a breadth-first ball, and was measured at >10× the
+// expansions for no quality gain. Rounds rip up just enough wires to bring
+// every edge back to capacity (partial rip-up, reverse wire order) and
+// reroute them until no edge is overused; if that has not converged after
+// Options.NegotiationRounds rounds the router falls back to the legacy
+// relaxation engine, preserving its completion guarantee.
+//
+// Searches are bidirectional A* (meet in the middle): one epoch-stamped
+// searchState expands from the source toward the target and a second from
+// the target toward the source, each under its own Manhattan bound scaled
+// by heuristicBias (weighted A*), always popping the side with the cheaper
+// f-value. Every relaxation checks whether the other side already settled
+// the node and tracks the best meeting total µ; the search stops as soon
+// as either side's top-of-heap f-value reaches µ. With the biased
+// heuristic the returned path may exceed the true optimum by up to the
+// bias factor — a deliberate trade: the negotiation reroutes iteratively
+// anyway, and the tighter frontier cuts heap pops by an order of
+// magnitude. On uniform edge costs the biased search still returns
+// shortest paths. The committed
+// path is the forward chain to the meeting node joined to the backward
+// chain from it.
+//
+// Parallelism follows the batch-speculative contract of the legacy engine:
+// a batch's searches run concurrently against the usage snapshot at batch
+// start, then commit sequentially in wire order. Negotiated searches never
+// fail and never need a fits() retry — every found path commits — so the
+// batch decomposition, and with it the entire result, is a pure function
+// of the wire order, bit-identical for any Workers value.
+
+package route
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// negotiator prices the grid's edges for one negotiated route: the shared
+// history arrays (indexed like hUsage/vUsage) plus the knobs and the
+// current round number the present term escalates with.
+type negotiator struct {
+	g             *grid
+	capacity      int
+	presentFactor float64
+	round         int // 1-based; scales the present price of overuse
+	histH, histV  []float64
+}
+
+// presentCap and historyCap bound the present and history price of one
+// edge, in multiples of θ. An uncapped price turns every forced hotspot
+// crossing into a grid-wide proof that no cheaper detour exists — the
+// search must expand everything cheaper than the crossing before conceding.
+// Capped, a wire tolerates detours only up to ~(presentCap+historyCap)·θ
+// and then crosses anyway; the residual overuse is resolved by capacity
+// escalation, not by ever-steeper prices. heuristicBias inflates the A*
+// lower bound (weighted A*): searches lose optimality they did not need —
+// the negotiation reroutes iteratively regardless — and expand corridors
+// a few bins wide instead of Manhattan balls. On uniform cost (round 1,
+// uncongested regions) the biased search still returns shortest paths.
+const (
+	presentCap    = 10.0
+	historyCap    = 6.0
+	heuristicBias = 1.5
+)
+
+// edgeCost prices stepping onto the edge at idx of the given orientation.
+// Only overuse is priced — sub-capacity edges cost base θ plus history, so
+// the Manhattan heuristic stays tight (see the package comment above).
+func (ng *negotiator) edgeCost(usage []int, hist []float64, idx int) float64 {
+	cost := ng.g.theta + hist[idx]
+	if over := usage[idx] + 1 - ng.capacity; over > 0 {
+		pres := ng.presentFactor * float64(ng.round) * float64(over)
+		if pres > presentCap {
+			pres = presentCap
+		}
+		cost += ng.g.theta * pres
+	}
+	return cost
+}
+
+// biState is the scratch of one bidirectional search: a forward and a
+// backward searchState, pooled together.
+type biState struct {
+	fwd, bwd searchState
+}
+
+// biSearch finds the cheapest path from bin s to bin t (s ≠ t) under the
+// negotiated edge costs. The path is written into buf (reallocated only
+// when it must grow) and returned along with the total heap pops of both
+// sides. Negotiated costs never block an edge, so on a connected grid a
+// path always exists; nil is returned only defensively.
+func (ng *negotiator) biSearch(bi *biState, s, t int, buf []int) ([]int, int) {
+	g := ng.g
+	n := g.cols * g.rows
+	fwd, bwd := &bi.fwd, &bi.bwd
+	fwd.begin(n)
+	bwd.begin(n)
+	sc, sr := s%g.cols, s/g.cols
+	tc, tr := t%g.cols, t/g.cols
+	h0 := heuristicBias * g.theta * float64(absInt(sc-tc)+absInt(sr-tr))
+	fwd.relax(int32(s), -1, 0)
+	fwd.push(pqItem{node: int32(s), cost: h0})
+	bwd.relax(int32(t), -1, 0)
+	bwd.push(pqItem{node: int32(t), cost: h0})
+	mu := math.Inf(1)
+	meet := int32(-1)
+	pops := 0
+	for len(fwd.heap) > 0 && len(bwd.heap) > 0 {
+		// Once either frontier's cheapest f-value reaches the best meeting
+		// total µ, stop: any undiscovered path passes through a node still
+		// on that frontier. With heuristicBias > 1 the bound is inflated,
+		// so the path kept may be up to bias× the optimum — accepted for
+		// the frontier reduction (see the package comment).
+		if fwd.heap[0].cost >= mu || bwd.heap[0].cost >= mu {
+			break
+		}
+		st, other := fwd, bwd
+		hc, hr := tc, tr // heuristic target of the expanding side
+		if bwd.heap[0].cost < fwd.heap[0].cost {
+			st, other = bwd, fwd
+			hc, hr = sc, sr
+		}
+		it := st.pop()
+		pops++
+		if it.g > st.dist[it.node] {
+			continue // stale heap entry; the node was relaxed cheaper
+		}
+		c, r := int(it.node)%g.cols, int(it.node)/g.cols
+		try := func(nc, nr int, usage []int, hist []float64, edgeIdx int) {
+			nn := int32(nr*g.cols + nc)
+			gc := it.g + ng.edgeCost(usage, hist, edgeIdx)
+			if gc < st.distAt(nn) {
+				st.relax(nn, it.node, gc)
+				st.push(pqItem{
+					node: nn,
+					cost: gc + heuristicBias*g.theta*float64(absInt(nc-hc)+absInt(nr-hr)),
+					g:    gc,
+				})
+				if other.stamp[nn] == other.epoch {
+					if total := gc + other.dist[nn]; total < mu {
+						mu = total
+						meet = nn
+					}
+				}
+			}
+		}
+		if c+1 < g.cols {
+			try(c+1, r, g.hUsage, ng.histH, r*g.cols+c)
+		}
+		if c-1 >= 0 {
+			try(c-1, r, g.hUsage, ng.histH, r*g.cols+c-1)
+		}
+		if r+1 < g.rows {
+			try(c, r+1, g.vUsage, ng.histV, r*g.cols+c)
+		}
+		if r-1 >= 0 {
+			try(c, r-1, g.vUsage, ng.histV, (r-1)*g.cols+c)
+		}
+	}
+	if meet < 0 {
+		return nil, pops
+	}
+	// Path = forward chain s..meet reversed into place, then the backward
+	// chain meet..t appended; both prev chains end at their root's -1.
+	steps := 0
+	for v := meet; v != -1; v = fwd.prev[v] {
+		steps++
+	}
+	total := steps
+	for v := bwd.prev[meet]; v != -1; v = bwd.prev[v] {
+		total++
+	}
+	if cap(buf) < total {
+		buf = make([]int, total)
+	}
+	buf = buf[:total]
+	for v, i := meet, steps-1; v != -1; v, i = fwd.prev[v], i-1 {
+		buf[i] = int(v)
+	}
+	for v, i := bwd.prev[meet], steps; v != -1; v, i = bwd.prev[v], i+1 {
+		buf[i] = int(v)
+	}
+	return buf, pops
+}
+
+// pathOverCapacity reports whether any edge of the path currently carries
+// more than capacity wires, against the live usage arrays.
+func (g *grid) pathOverCapacity(path []int, capacity int) bool {
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		if b < a {
+			a, b = b, a
+		}
+		if b == a+1 {
+			if g.hUsage[a] > capacity {
+				return true
+			}
+		} else if g.vUsage[a] > capacity {
+			return true
+		}
+	}
+	return false
+}
+
+// stallImprovement is the minimum fractional drop in overused-edge count a
+// round must deliver (vs the round before) to count as progress; a round
+// below it is stalled. stallFallback is how many consecutive stalled rounds
+// without an available capacity relaxation end the negotiation early.
+// stallClear sizes a stalled round's capacity jump: relax to the smallest
+// capacity that leaves at most 1/stallClear of the current overuse.
+const (
+	stallImprovement = 8 // progress means over < prevOver - prevOver/stallImprovement
+	stallFallback    = 3
+	stallClear       = 4
+)
+
+// negotiate is the negotiated-congestion engine. Round 1 routes every wire;
+// each later round reroutes only the wires whose paths cross an edge that
+// finished the previous round over capacity, after pricing that overuse
+// into the history costs. A round that barely improves the overused-edge
+// count is stalled: the design likely needs more physical capacity than
+// pricing alone can negotiate, so the router relaxes the virtual capacity
+// (bounded by Options.MaxRelaxations, like the legacy engine) and keeps
+// negotiating. It converges when no edge is overused; if the round budget
+// runs out, or rounds keep stalling with no relaxation left, it falls back
+// to the legacy engine, preserving its completion guarantee.
+func (rt *router) negotiate(ctx context.Context) error {
+	g, res, opts := rt.g, rt.res, rt.opts
+	ng := &negotiator{
+		g:             g,
+		capacity:      opts.Capacity,
+		presentFactor: opts.PresentFactor,
+		histH:         make([]float64, len(g.hUsage)),
+		histV:         make([]float64, len(g.vUsage)),
+	}
+	historyGain := opts.HistoryGain
+	if historyGain == 0 {
+		historyGain = DefaultHistoryGain
+	}
+	if ng.presentFactor == 0 {
+		ng.presentFactor = DefaultPresentFactor
+	}
+	maxRounds := opts.NegotiationRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultNegotiationRounds
+	}
+	states := sync.Pool{New: func() interface{} { return new(biState) }}
+	pops := make([]int, len(rt.nl.Wires))
+	reroute := rt.order // round 1: every wire, in the paper's order
+	var ripped []int
+	batchNo := 0
+	prevOver := 0
+	stalled := 0
+	for round := 1; ; round++ {
+		ng.round = round
+		start := time.Now()
+		queue := reroute
+		for len(queue) > 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("route: cancelled before batch %d: %w", batchNo+1, err)
+			}
+			b := rt.batch
+			if b > len(queue) {
+				b = len(queue)
+			}
+			cur := queue[:b]
+			queue = queue[b:]
+			// Speculative searches against the usage snapshot at batch
+			// start, fanned across the pool; each search writes only its
+			// own wire's slots. Negotiated costs never block, so every
+			// path commits — the batch decomposition is fixed by the wire
+			// order alone, keeping results bit-identical for any Workers.
+			err := parallel.ForCtx(ctx, rt.workers, b, func(i int) {
+				wi := cur[i]
+				if rt.src[wi] == rt.dst[wi] {
+					return // same-bin wires route directly at commit
+				}
+				bi := states.Get().(*biState)
+				path, n := ng.biSearch(bi, rt.src[wi], rt.dst[wi], res.Paths[wi][:0])
+				states.Put(bi)
+				res.Paths[wi] = path
+				pops[wi] = n
+			})
+			if err != nil {
+				return fmt.Errorf("route: cancelled in batch %d: %w", batchNo+1, err)
+			}
+			batchNo++
+			for _, wi := range cur {
+				if rt.src[wi] == rt.dst[wi] {
+					rt.commitSameBin(wi)
+					continue
+				}
+				path := res.Paths[wi]
+				if path == nil {
+					return fmt.Errorf("route: no path for wire %d on a connected grid", wi)
+				}
+				res.Expansions += int64(pops[wi])
+				g.commit(path)
+				res.WireLength[wi] = float64(len(path)-1) * opts.Theta
+			}
+			obs.Emit(opts.Observer, obs.RouteBatch{
+				Batch:     batchNo,
+				Wires:     b,
+				Committed: b,
+				Capacity:  ng.capacity,
+			})
+		}
+		res.Rounds = round
+		// Demand scan: the overused-edge count at the current capacity and
+		// the peak edge demand.
+		over, peak := 0, 0
+		for _, u := range g.hUsage {
+			if u > peak {
+				peak = u
+			}
+			if u > ng.capacity {
+				over++
+			}
+		}
+		for _, u := range g.vUsage {
+			if u > peak {
+				peak = u
+			}
+			if u > ng.capacity {
+				over++
+			}
+		}
+		if over > res.OverusedPeak {
+			res.OverusedPeak = over
+		}
+		res.RoundTimes = append(res.RoundTimes, time.Since(start))
+		if over == 0 {
+			break
+		}
+		// A round that barely dented the overuse is stalled: pricing alone
+		// is not resolving the contention, so buy physical headroom. Round
+		// 1 (prevOver = 0) can never show progress by this test, which is
+		// intended: a design whose shortest paths overuse a large fraction
+		// of the grid escalates straight off the demand scan instead of
+		// burning a full reroute round at a hopeless capacity.
+		progress := over < prevOver-prevOver/stallImprovement
+		prevOver = over
+		escalate := false
+		if progress {
+			stalled = 0
+		} else if res.Relaxations < opts.MaxRelaxations {
+			stalled = 0
+			escalate = true
+		} else {
+			stalled++
+		}
+		if round >= maxRounds || stalled >= stallFallback {
+			// The design would not converge under negotiation. Degrade to
+			// the legacy engine, which guarantees completion within
+			// MaxRelaxations; it resets usage and paths itself.
+			res.Negotiated = false
+			return rt.relax(ctx)
+		}
+		if escalate {
+			// Relax to the smallest capacity that leaves at most
+			// 1/stallClear of this round's overuse, read off the demand
+			// histogram, rather than stepping by one: a design whose
+			// hotspot needs far more capacity than Options.Capacity would
+			// otherwise burn one full negotiation round per unit, while
+			// the quantile schedule clears the bulk congestion in O(log)
+			// stalls and leaves negotiation exactly the contested tail it
+			// can actually spread.
+			counts := make([]int, peak+1)
+			for _, u := range g.hUsage {
+				if u > ng.capacity {
+					counts[u]++
+				}
+			}
+			for _, u := range g.vUsage {
+				if u > ng.capacity {
+					counts[u]++
+				}
+			}
+			budget := over / stallClear
+			remaining := over
+			for remaining > budget && ng.capacity < peak {
+				ng.capacity++
+				remaining -= counts[ng.capacity]
+			}
+			res.Relaxations++
+		}
+		// Price the overuse at the (possibly just relaxed) capacity into
+		// the histories — after escalation, so edges the relaxation
+		// legalized are not taxed.
+		marked := 0
+		for i, u := range g.hUsage {
+			if u > ng.capacity {
+				marked++
+				ng.histH[i] = min(ng.histH[i]+historyGain*g.theta*float64(u-ng.capacity), historyCap*g.theta)
+			}
+		}
+		for i, u := range g.vUsage {
+			if u > ng.capacity {
+				marked++
+				ng.histV[i] = min(ng.histV[i]+historyGain*g.theta*float64(u-ng.capacity), historyCap*g.theta)
+			}
+		}
+		if marked == 0 {
+			break // the relaxation alone legalized every edge
+		}
+		// Partial rip-up, in reverse wire order: uncommitting decrements
+		// usage live, so a wire is ripped only while an edge on its path
+		// is still over capacity, and each hot edge sheds exactly its
+		// excess rather than its whole herd. Ripping every crossing wire
+		// instead makes hundreds of wires reroute against the same
+		// snapshot, pile onto the same alternative corridor, and
+		// oscillate. The reverse scan sheds the paper's least-prioritized
+		// wires; the survivors keep their paths.
+		ripped = ripped[:0]
+		for oi := len(rt.order) - 1; oi >= 0; oi-- {
+			wi := rt.order[oi]
+			path := res.Paths[wi]
+			if len(path) < 2 {
+				continue
+			}
+			if g.pathOverCapacity(path, ng.capacity) {
+				g.uncommit(path)
+				ripped = append(ripped, wi)
+			}
+		}
+		// Reroute the ripped wires in paper order, most important first.
+		for i, j := 0, len(ripped)-1; i < j; i, j = i+1, j-1 {
+			ripped[i], ripped[j] = ripped[j], ripped[i]
+		}
+		res.RipUps += len(ripped)
+		reroute = ripped
+		if escalate {
+			obs.Emit(opts.Observer, obs.RouteRelaxation{
+				Relaxations: res.Relaxations,
+				Capacity:    ng.capacity,
+				Pending:     len(ripped),
+			})
+		}
+	}
+	res.FinalCapacity = ng.capacity
+	return nil
+}

@@ -1,8 +1,17 @@
 // Package route implements the global routing stage of Section 3.5: a grid
 // graph with user-defined bin width θ [18], per-edge virtual capacity [17],
-// maze routing [16] ordered by each wire's distance from the center of
-// gravity of all cells (wire weight as the tie breaker), and capacity
-// relaxation to reroute wires that fail until every wire is routed.
+// and maze routing [16] ordered by each wire's distance from the center of
+// gravity of all cells (wire weight as the tie breaker).
+//
+// Two congestion-resolution engines share that machinery. The default is
+// PathFinder-style negotiated congestion (negotiate.go): searches never
+// block on full edges; instead each edge is priced by its present overuse
+// and a history cost that accumulates across rip-up-and-reroute rounds, so
+// wires negotiate shared edges until no edge exceeds capacity. Searches run
+// bidirectionally (meet-in-the-middle A* under the Manhattan bound). The
+// legacy engine (Options.Negotiate=false) blocks full edges outright and
+// relaxes the virtual capacity globally to reroute wires that fail; a
+// stalled negotiation falls back to it with the same bound.
 //
 // Wires are processed in batches of Options.BatchSize: every wire of a
 // batch runs its maze search against the usage snapshot at batch start
@@ -20,6 +29,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/netlist"
 	"repro/internal/obs"
@@ -49,15 +59,43 @@ type Options struct {
 	// Workers bounds the goroutines running a batch's maze searches.
 	// Zero means the parallel package default; negative is rejected.
 	Workers int
+	// Negotiate selects the negotiated-congestion engine: searches price
+	// overused edges instead of blocking on them, and rip-up-and-reroute
+	// rounds resolve the overuse. False selects the legacy capacity-
+	// relaxation engine (the zero value, so hand-built Options keep their
+	// historical meaning; DefaultOptions enables negotiation).
+	Negotiate bool
+	// PresentFactor scales the present-congestion price of an overused edge
+	// per unit of overuse, multiplied by the round number so the pressure
+	// escalates. Zero means DefaultPresentFactor; negative is rejected.
+	PresentFactor float64
+	// HistoryGain scales the history cost added to an edge per unit of
+	// overuse after each round, in units of Theta. Zero means
+	// DefaultHistoryGain; negative is rejected.
+	HistoryGain float64
+	// NegotiationRounds bounds the rip-up-and-reroute rounds before a
+	// stalled negotiation falls back to the legacy relaxation engine. Zero
+	// means DefaultNegotiationRounds; negative is rejected.
+	NegotiationRounds int
 	// Observer, when non-nil, receives an obs.RouteBatch event after every
-	// committed batch and an obs.RouteRelaxation event at every capacity
-	// relaxation. Observers are passive: they cannot change the routing.
+	// committed batch, an obs.RouteRelaxation event at every capacity
+	// relaxation, and one obs.RouteStats summary after the route finishes.
+	// Observers are passive: they cannot change the routing.
 	Observer obs.Observer
 }
 
 // defaultBatchSize balances maze-search parallelism against the fidelity of
 // the usage picture each wire sees.
 const defaultBatchSize = 16
+
+// Defaults of the negotiated-congestion knobs, applied when the
+// corresponding Options field is zero. Exported so the cache key
+// (CanonicalHash) can fold zero spellings to the same digest.
+const (
+	DefaultPresentFactor     = 0.5
+	DefaultHistoryGain       = 0.4
+	DefaultNegotiationRounds = 48
+)
 
 // DefaultOptions returns the parameter set used by the experiments.
 func DefaultOptions() Options {
@@ -67,6 +105,10 @@ func DefaultOptions() Options {
 		CongestionPenalty: 0.3,
 		MaxRelaxations:    64,
 		BatchSize:         defaultBatchSize,
+		Negotiate:         true,
+		PresentFactor:     DefaultPresentFactor,
+		HistoryGain:       DefaultHistoryGain,
+		NegotiationRounds: DefaultNegotiationRounds,
 	}
 }
 
@@ -89,6 +131,15 @@ func (o Options) validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("route: negative worker count %d", o.Workers)
 	}
+	if o.PresentFactor < 0 {
+		return fmt.Errorf("route: present factor %g must be ≥ 0", o.PresentFactor)
+	}
+	if o.HistoryGain < 0 {
+		return fmt.Errorf("route: history gain %g must be ≥ 0", o.HistoryGain)
+	}
+	if o.NegotiationRounds < 0 {
+		return fmt.Errorf("route: negotiation rounds %d must be ≥ 0", o.NegotiationRounds)
+	}
 	return nil
 }
 
@@ -108,6 +159,24 @@ type Result struct {
 	Relaxations int
 	// FinalCapacity is the virtual capacity after relaxation.
 	FinalCapacity int
+	// Paths holds each wire's committed bin sequence, indexed by wire ID.
+	// A same-bin wire's path is its single bin.
+	Paths [][]int
+	// Negotiated reports that the negotiated-congestion engine produced
+	// this result. False with Rounds > 0 means negotiation stalled and the
+	// legacy relaxation fallback routed the design.
+	Negotiated bool
+	// Rounds is how many negotiation rounds ran (0 on the legacy engine).
+	Rounds int
+	// RipUps is how many wires were ripped up and rerouted, over all rounds.
+	RipUps int
+	// Expansions counts heap pops across every maze search, both engines.
+	Expansions int64
+	// OverusedPeak is the most over-capacity edges seen after any round.
+	OverusedPeak int
+	// RoundTimes is the wall time of each negotiation round — diagnostic
+	// only, never part of the deterministic result.
+	RoundTimes []time.Duration
 }
 
 // MaxUsage returns the peak bin congestion.
@@ -186,6 +255,7 @@ type searchState struct {
 	stamp []uint32
 	epoch uint32
 	heap  []pqItem
+	pops  int // heap pops of the current search, read after it returns
 }
 
 // begin readies the state for a search over n bins.
@@ -204,6 +274,7 @@ func (st *searchState) begin(n int) {
 		st.epoch = 1
 	}
 	st.heap = st.heap[:0]
+	st.pops = 0
 }
 
 // distAt returns node's g-cost this search, +Inf if untouched.
@@ -279,6 +350,7 @@ func (g *grid) dijkstra(st *searchState, s, t int, capacity int, penalty float64
 	st.push(pqItem{node: int32(s), cost: lowerBound(int32(s)), g: 0})
 	for len(st.heap) > 0 {
 		it := st.pop()
+		st.pops++
 		if int(it.node) == t {
 			break
 		}
@@ -348,6 +420,22 @@ func (g *grid) commit(path []int) {
 	}
 }
 
+// uncommit removes the path's edges from the usage maps — the inverse of
+// commit, used when negotiation rips a wire up for rerouting.
+func (g *grid) uncommit(path []int) {
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		if b < a {
+			a, b = b, a
+		}
+		if b == a+1 { // horizontal
+			g.hUsage[a]--
+		} else { // vertical
+			g.vUsage[a]--
+		}
+	}
+}
+
 // fits reports whether every edge of the path still has headroom under the
 // capacity — a speculative path can be invalidated by a batch-mate that
 // committed first.
@@ -385,11 +473,12 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{WireLength: make([]float64, len(nl.Wires))}
+	res := &Result{WireLength: make([]float64, len(nl.Wires)), Negotiated: opts.Negotiate}
 	if len(nl.Wires) == 0 {
 		res.Cols, res.Rows = 1, 1
 		res.Usage = make([]int, 1)
 		res.FinalCapacity = opts.Capacity
+		obs.Emit(opts.Observer, routeStatsOf(res, 0))
 		return res, nil
 	}
 	g := newGrid(pl, opts.Theta)
@@ -420,13 +509,10 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 		return nl.Wires[wa].Weight > nl.Wires[wb].Weight
 	})
 
-	capacity := opts.Capacity
 	batch := opts.BatchSize
 	if batch == 0 {
 		batch = defaultBatchSize
 	}
-	workers := parallel.Resolve(opts.Workers)
-	paths := make([][]int, len(nl.Wires))
 	// Source/target bins depend only on the placement; compute once.
 	src := make([]int, len(nl.Wires))
 	dst := make([]int, len(nl.Wires))
@@ -435,17 +521,103 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 		tc, tr := g.binOf(pl.X[w.To], pl.Y[w.To])
 		src[i], dst[i] = sr*g.cols+sc, tr*g.cols+tc
 	}
+	rt := &router{
+		g: g, nl: nl, pl: pl, opts: opts, res: res,
+		order: order, src: src, dst: dst,
+		batch: batch, workers: parallel.Resolve(opts.Workers),
+	}
+	res.Paths = make([][]int, len(nl.Wires))
+	var err error
+	if opts.Negotiate {
+		err = rt.negotiate(ctx)
+	} else {
+		err = rt.relax(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range res.WireLength {
+		res.Total += l
+	}
+	// Congestion map: wires passing through each bin.
+	res.Usage = make([]int, g.cols*g.rows)
+	for _, path := range res.Paths {
+		for _, b := range path {
+			res.Usage[b]++
+		}
+	}
+	obs.Emit(opts.Observer, routeStatsOf(res, len(nl.Wires)))
+	return res, nil
+}
+
+// routeStatsOf packs a Result's counters into the summary event.
+func routeStatsOf(res *Result, wires int) obs.RouteStats {
+	return obs.RouteStats{
+		Negotiated:    res.Negotiated,
+		Wires:         wires,
+		Rounds:        res.Rounds,
+		RipUps:        res.RipUps,
+		Expansions:    res.Expansions,
+		OverusedPeak:  res.OverusedPeak,
+		Relaxations:   res.Relaxations,
+		FinalCapacity: res.FinalCapacity,
+		RoundTimes:    res.RoundTimes,
+	}
+}
+
+// router bundles the per-route state both engines share: the grid, the
+// paper's wire order, the precomputed terminal bins, and the resolved
+// batch/worker knobs.
+type router struct {
+	g              *grid
+	nl             *netlist.Netlist
+	pl             *place.Result
+	opts           Options
+	res            *Result
+	order          []int
+	src, dst       []int
+	batch, workers int
+}
+
+// commitSameBin routes a wire whose terminals share a bin: a direct
+// connection consuming no grid edges, with the physical pin distance
+// (floored at θ/2) as its length.
+func (rt *router) commitSameBin(wi int) {
+	w := rt.nl.Wires[wi]
+	rt.res.Paths[wi] = append(rt.res.Paths[wi][:0], rt.src[wi])
+	rt.res.WireLength[wi] = math.Max(
+		math.Abs(rt.pl.X[w.From]-rt.pl.X[w.To])+math.Abs(rt.pl.Y[w.From]-rt.pl.Y[w.To]),
+		rt.opts.Theta/2)
+}
+
+// relax is the legacy engine: speculative batched maze searches that block
+// on full edges, with a bounded global capacity relaxation rerouting the
+// wires that fail. Also the fallback of a stalled negotiation, so it first
+// resets any usage and paths a prior negotiation attempt committed.
+func (rt *router) relax(ctx context.Context) error {
+	g, res, opts := rt.g, rt.res, rt.opts
+	clear(g.hUsage)
+	clear(g.vUsage)
+	clear(res.WireLength)
+	for i := range res.Paths {
+		res.Paths[i] = res.Paths[i][:0]
+	}
+	type spec struct {
+		path []int
+		pops int
+	}
+	capacity := opts.Capacity
 	states := sync.Pool{New: func() interface{} { return new(searchState) }}
-	pending := order
+	pending := rt.order
 	batchNo := 0
 	for len(pending) > 0 {
 		var failed []int // no path under the current capacity: relaxation candidates
 		queue := pending
 		for len(queue) > 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("route: cancelled before batch %d: %w", batchNo+1, err)
+				return fmt.Errorf("route: cancelled before batch %d: %w", batchNo+1, err)
 			}
-			b := batch
+			b := rt.batch
 			if b > len(queue) {
 				b = len(queue)
 			}
@@ -458,17 +630,18 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 			// scratch comes from the state pool — which state a search gets
 			// never affects its result (begin() invalidates all prior
 			// entries), so pooling preserves the determinism contract.
-			spec, err := parallel.MapCtx(ctx, workers, b, func(i int) []int {
-				if src[cur[i]] == dst[cur[i]] {
-					return nil // same-bin wires route directly at commit
+			found, err := parallel.MapCtx(ctx, rt.workers, b, func(i int) spec {
+				if rt.src[cur[i]] == rt.dst[cur[i]] {
+					return spec{} // same-bin wires route directly at commit
 				}
 				st := states.Get().(*searchState)
-				path := g.dijkstra(st, src[cur[i]], dst[cur[i]], capacity, opts.CongestionPenalty)
+				path := g.dijkstra(st, rt.src[cur[i]], rt.dst[cur[i]], capacity, opts.CongestionPenalty)
+				pops := st.pops
 				states.Put(st)
-				return path
+				return spec{path: path, pops: pops}
 			})
 			if err != nil {
-				return nil, fmt.Errorf("route: cancelled in batch %d: %w", batchNo+1, err)
+				return fmt.Errorf("route: cancelled in batch %d: %w", batchNo+1, err)
 			}
 			// Commit in wire order. A path invalidated by a batch-mate's
 			// commit is re-queued ahead of the untried wires; the first
@@ -478,17 +651,13 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 			batchNo++
 			committed, failedBefore := 0, len(failed)
 			for i, wi := range cur {
-				w := nl.Wires[wi]
-				if src[wi] == dst[wi] {
-					// Same bin: direct connection, no grid edges consumed.
-					paths[wi] = []int{src[wi]}
-					res.WireLength[wi] = math.Max(
-						math.Abs(pl.X[w.From]-pl.X[w.To])+math.Abs(pl.Y[w.From]-pl.Y[w.To]),
-						opts.Theta/2)
+				res.Expansions += int64(found[i].pops)
+				if rt.src[wi] == rt.dst[wi] {
+					rt.commitSameBin(wi)
 					committed++
 					continue
 				}
-				path := spec[i]
+				path := found[i].path
 				if path == nil {
 					failed = append(failed, wi)
 					continue
@@ -498,7 +667,7 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 					continue
 				}
 				g.commit(path)
-				paths[wi] = path
+				res.Paths[wi] = path
 				res.WireLength[wi] = float64(len(path)-1) * opts.Theta
 				committed++
 			}
@@ -518,7 +687,7 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 			break
 		}
 		if res.Relaxations >= opts.MaxRelaxations {
-			return nil, fmt.Errorf("route: %d wires unroutable after %d capacity relaxations",
+			return fmt.Errorf("route: %d wires unroutable after %d capacity relaxations",
 				len(failed), res.Relaxations)
 		}
 		capacity++
@@ -531,15 +700,5 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 		pending = failed
 	}
 	res.FinalCapacity = capacity
-	for _, l := range res.WireLength {
-		res.Total += l
-	}
-	// Congestion map: wires passing through each bin.
-	res.Usage = make([]int, g.cols*g.rows)
-	for _, path := range paths {
-		for _, b := range path {
-			res.Usage[b]++
-		}
-	}
-	return res, nil
+	return nil
 }

@@ -83,6 +83,13 @@ func buildSpec(req client.CompileRequest) (*compileSpec, error) {
 	cfg.SelectionQuantile = req.SelectionQuantile
 	cfg.UtilizationThreshold = req.UtilizationThreshold
 	cfg.SkipPhysical = req.SkipPhysical
+	cfg.Multilevel = req.Multilevel
+	cfg.MultilevelCutoff = req.MultilevelCutoff
+	cfg.CoarsenRatio = req.CoarsenRatio
+	cfg.MultilevelLevels = req.MultilevelLevels
+	if req.LegacyRouter {
+		cfg.Route.Negotiate = false
+	}
 
 	base, err := autoncs.CanonicalHash(net, cfg)
 	if err != nil {
