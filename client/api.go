@@ -5,7 +5,11 @@
 // non-Go callers.
 package client
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
 
 // CompileRequest is the body of POST /v1/compile. Exactly one network
 // source (Net, Random, or Testbench) must be set; the remaining fields are
@@ -50,7 +54,22 @@ type CompileRequest struct {
 	// LegacyRouter selects the capacity-relaxation router instead of the
 	// default negotiated-congestion engine (Config.Route.Negotiate=false).
 	LegacyRouter bool `json:"legacy_router,omitempty"`
+
+	// Priority is the scheduling class: PriorityInteractive jumps the
+	// queue ahead of PriorityBatch work. Empty defaults to interactive for
+	// waited submissions (?wait=1) and batch for fire-and-forget ones.
+	// Priority affects only scheduling order, never the result bytes — it
+	// is not part of the compile's cache key, so an interactive and a
+	// batch submission of the same network coalesce onto one compile.
+	Priority string `json:"priority,omitempty"`
 }
+
+// The two job priorities. Interactive work is drained ahead of batch work
+// whenever both are queued; neither is ever starved.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
 
 // RandomSpec describes a server-side generated random sparse network.
 type RandomSpec struct {
@@ -79,6 +98,12 @@ type JobStatus struct {
 	// Cached reports that the job was answered from the result cache
 	// without running the flow.
 	Cached bool `json:"cached"`
+	// Coalesced reports that the job attached to another submission's
+	// in-flight compile of the same key instead of queueing its own; the
+	// result bytes are identical either way.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Priority is the scheduling class the job ran under.
+	Priority string `json:"priority,omitempty"`
 	// Error is set when State is failed or cancelled.
 	Error string `json:"error,omitempty"`
 
@@ -137,20 +162,40 @@ type Report struct {
 
 // Metrics is the body of GET /metrics: the serving counters plus the
 // aggregated internal/obs flow metrics.
+//
+// Counter semantics: JobsAccepted counts every non-rejected submission;
+// within it, JobsCompleted counts compiles run to done (one per compile,
+// however many submissions shared it), JobsCoalesced counts submissions
+// answered by attaching to another submission's in-flight compile, and
+// JobsCacheHits counts submissions answered from the result cache. So
+// JobsCompleted is the daemon's actual compile throughput, and
+// JobsCoalesced + JobsCacheHits is the work deduplication saved.
 type Metrics struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Draining      bool    `json:"draining"`
 
 	WorkerSlots   int `json:"worker_slots"`
 	QueueCapacity int `json:"queue_capacity"`
-	QueueDepth    int `json:"queue_depth"`
-	InFlight      int `json:"in_flight"`
+	// QueueDepth counts admitted leader jobs waiting for a worker slot,
+	// across both priorities; QueueInteractive/QueueBatch split it.
+	QueueDepth       int `json:"queue_depth"`
+	QueueInteractive int `json:"queue_interactive"`
+	QueueBatch       int `json:"queue_batch"`
+	InFlight         int `json:"in_flight"`
+	// Flights counts the entries of the single-flight table: compiles
+	// queued or running that new identical submissions would attach to.
+	Flights int `json:"flights"`
+	// AdmitRounds counts admission batches decided (each one lock
+	// acquisition covering up to -batch-size submissions).
+	AdmitRounds int64 `json:"admit_rounds"`
 
 	JobsAccepted  int64 `json:"jobs_accepted"`
 	JobsCompleted int64 `json:"jobs_completed"`
 	JobsFailed    int64 `json:"jobs_failed"`
 	JobsCancelled int64 `json:"jobs_cancelled"`
 	JobsRejected  int64 `json:"jobs_rejected"`
+	JobsCacheHits int64 `json:"jobs_cache_hits"`
+	JobsCoalesced int64 `json:"jobs_coalesced"`
 
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
@@ -160,6 +205,48 @@ type Metrics struct {
 	// (internal/obs) across every job the daemon has run.
 	Compiles     int                `json:"compiles"`
 	StageSeconds map[string]float64 `json:"stage_seconds"`
+
+	// RequestRecords counts the per-request timing records emitted (one
+	// per terminal job); LastRequest is the most recent one.
+	RequestRecords int64          `json:"request_records"`
+	LastRequest    *RequestTiming `json:"last_request,omitempty"`
+}
+
+// RequestTiming is one flat per-request latency record: where a job's wall
+// time went (admission wait, queue wait, compile run) and how it was
+// answered (fresh compile, coalesced, or cache hit). Every field is a
+// scalar so a stream of these dumps straight into CSV — see CSVRecord —
+// for fleet-level serving-latency analysis.
+type RequestTiming struct {
+	Job       string `json:"job"`
+	Key       string `json:"key"`
+	Priority  string `json:"priority"`
+	Coalesced bool   `json:"coalesced"`
+	CacheHit  bool   `json:"cache_hit"`
+	State     string `json:"state"`
+
+	SubmittedAt      string  `json:"submitted_at"`
+	AdmitWaitSeconds float64 `json:"admit_wait_seconds"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds"`
+	RunSeconds       float64 `json:"run_seconds"`
+	TotalSeconds     float64 `json:"total_seconds"`
+}
+
+// RequestTimingCSVHeader returns the CSV header row matching CSVRecord's
+// column order.
+func RequestTimingCSVHeader() string {
+	return "job,key,priority,coalesced,cache_hit,state,submitted_at,admit_wait_seconds,queue_wait_seconds,run_seconds,total_seconds"
+}
+
+// CSVRecord renders the record as one CSV row. No field can contain a
+// comma, a quote, or a newline (ids, hex keys, enum strings, RFC 3339
+// timestamps, numbers), so no quoting is needed.
+func (t RequestTiming) CSVRecord() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,%s,%s,%t,%t,%s,%s,%.6f,%.6f,%.6f,%.6f",
+		t.Job, t.Key, t.Priority, t.Coalesced, t.CacheHit, t.State,
+		t.SubmittedAt, t.AdmitWaitSeconds, t.QueueWaitSeconds, t.RunSeconds, t.TotalSeconds)
+	return b.String()
 }
 
 // Health is the body of GET /healthz.

@@ -1,0 +1,42 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRequestTimingCSV: the header and a record agree on column count, and
+// no field smuggles in a separator (the schema promises quote-free CSV).
+func TestRequestTimingCSV(t *testing.T) {
+	rec := RequestTiming{
+		Job:              "j-000042",
+		Key:              strings.Repeat("ab", 32),
+		Priority:         PriorityInteractive,
+		Coalesced:        true,
+		CacheHit:         false,
+		State:            StateDone,
+		SubmittedAt:      "2026-08-08T12:00:00.000000001Z",
+		AdmitWaitSeconds: 0.002,
+		QueueWaitSeconds: 0.5,
+		RunSeconds:       1.25,
+		TotalSeconds:     1.752,
+	}
+	header := RequestTimingCSVHeader()
+	row := rec.CSVRecord()
+	hc, rc := strings.Count(header, ",")+1, strings.Count(row, ",")+1
+	if hc != rc {
+		t.Fatalf("header has %d columns, record has %d\n%s\n%s", hc, rc, header, row)
+	}
+	cols := strings.Split(row, ",")
+	if cols[0] != rec.Job || cols[1] != rec.Key || cols[2] != PriorityInteractive {
+		t.Fatalf("leading columns wrong: %v", cols[:3])
+	}
+	if cols[3] != "true" || cols[4] != "false" || cols[5] != StateDone {
+		t.Fatalf("flag/state columns wrong: %v", cols[3:6])
+	}
+	for _, bad := range []string{"\"", "\n"} {
+		if strings.Contains(row, bad) {
+			t.Fatalf("record contains %q: %s", bad, row)
+		}
+	}
+}

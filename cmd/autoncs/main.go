@@ -49,6 +49,7 @@ func main() {
 		dumpPath = flag.String("dump", "", "write the resulting hybrid assignment as JSON")
 		workers  = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
 		server   = flag.String("server", "", "compile on this autoncsd instance (e.g. http://127.0.0.1:8080) instead of in process")
+		priority = flag.String("priority", "", "with -server: job priority, interactive or batch (empty = server default)")
 		verbose  = flag.Bool("v", false, "log stage boundaries and ISC iterations to stderr")
 		trace    = flag.Bool("trace", false, "log every flow event to stderr, including per-checkpoint placement progress and route batches (implies -v)")
 	)
@@ -104,6 +105,7 @@ func main() {
 			Multilevel:        *multilvl,
 			MultilevelCutoff:  *mlCutoff,
 			LegacyRouter:      *legacyRt,
+			Priority:          *priority,
 		}
 		runRemote(ctx, *server, net, req, *baseline, *dumpPath)
 		return
@@ -287,9 +289,12 @@ func remoteCompile(ctx context.Context, c *client.Client, req client.CompileRequ
 func printRemoteResult(name string, st *client.JobStatus, res *client.Result) {
 	fmt.Printf("== %s (remote) ==\n", name)
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	if st.Cached {
+	switch {
+	case st.Cached:
 		fmt.Fprintf(w, "served from cache\tyes\n")
-	} else {
+	case st.Coalesced:
+		fmt.Fprintf(w, "coalesced onto in-flight compile\tyes\n")
+	default:
 		fmt.Fprintf(w, "server compile time\t%.2fs\n", st.ElapsedSeconds)
 	}
 	fmt.Fprintf(w, "cache key\t%s\n", st.Key)

@@ -7,16 +7,20 @@ package main
 //	AUTONCSD_BIN=/tmp/autoncsd go test -v -run TestDaemonE2E ./cmd/autoncsd/
 //
 // The daemon is started on an ephemeral port (-addr 127.0.0.1:0) and its
-// address scraped from the startup line. The test proves the PR's four
-// serving guarantees: a repeated compile is a bit-identical cache hit, the
-// hit is visible in /metrics, submissions beyond capacity get 429, and
-// SIGTERM drains in-flight work before the process exits cleanly.
+// address scraped from the startup line. The test proves the serving
+// guarantees end to end: a repeated compile is a bit-identical cache hit
+// visible in /metrics, two concurrent identical submissions coalesce onto
+// one compile and return the same X-Autoncs-Key payload bytes (with the
+// coalesced/cache-hit counters and per-request timing on /metrics),
+// submissions beyond capacity get 429, and SIGTERM drains in-flight work
+// before the process exits cleanly.
 
 import (
 	"bufio"
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -28,9 +32,11 @@ import (
 	"repro/client"
 )
 
-// startDaemon launches the binary and returns a client plus the command
-// handle (its process group is the test's to signal).
-func startDaemon(t *testing.T, extraArgs ...string) (*client.Client, *exec.Cmd) {
+// startDaemon launches the binary and returns a client, the daemon's base
+// URL (for raw HTTP assertions the client does not expose, like response
+// headers), and the command handle (its process group is the test's to
+// signal).
+func startDaemon(t *testing.T, extraArgs ...string) (*client.Client, string, *exec.Cmd) {
 	t.Helper()
 	bin := os.Getenv("AUTONCSD_BIN")
 	if bin == "" {
@@ -70,15 +76,15 @@ func startDaemon(t *testing.T, extraArgs ...string) (*client.Client, *exec.Cmd) 
 		if !ok {
 			t.Fatal("daemon exited before printing its address")
 		}
-		return client.New(url), cmd
+		return client.New(url), url, cmd
 	case <-deadline:
 		t.Fatal("daemon never printed its listening address")
-		return nil, nil
+		return nil, "", nil
 	}
 }
 
 func TestDaemonE2E(t *testing.T) {
-	c, cmd := startDaemon(t, "-slots", "1", "-queue", "1")
+	c, baseURL, cmd := startDaemon(t, "-slots", "1", "-queue", "1")
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
@@ -120,6 +126,75 @@ func TestDaemonE2E(t *testing.T) {
 	}
 	if m.CacheHits != 1 {
 		t.Fatalf("metrics cache_hits = %d, want 1", m.CacheHits)
+	}
+	if m.JobsCacheHits != 1 {
+		t.Fatalf("metrics jobs_cache_hits = %d, want 1", m.JobsCacheHits)
+	}
+
+	// Two concurrent identical submissions of an uncached network: they
+	// coalesce onto one compile and both return the same payload under the
+	// same X-Autoncs-Key.
+	dupReq := client.CompileRequest{Random: &client.RandomSpec{N: 400, Sparsity: 0.94, Seed: 2}}
+	type dup struct {
+		st  *client.JobStatus
+		err error
+	}
+	dups := make(chan dup, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			st, err := c.CompileWait(ctx, dupReq)
+			dups <- dup{st, err}
+		}()
+	}
+	var dupJobs []*client.JobStatus
+	for i := 0; i < 2; i++ {
+		d := <-dups
+		if d.err != nil {
+			t.Fatalf("duplicate submission: %v", d.err)
+		}
+		if d.st.State != client.StateDone {
+			t.Fatalf("duplicate submission ended %s: %s", d.st.State, d.st.Error)
+		}
+		dupJobs = append(dupJobs, d.st)
+	}
+	var dupPayloads [][]byte
+	var dupKeys []string
+	for _, st := range dupJobs {
+		resp, err := http.Get(baseURL + st.ResultURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result fetch for %s: status %d", st.ID, resp.StatusCode)
+		}
+		dupPayloads = append(dupPayloads, payload)
+		dupKeys = append(dupKeys, resp.Header.Get("X-Autoncs-Key"))
+	}
+	if dupKeys[0] == "" || dupKeys[0] != dupKeys[1] {
+		t.Fatalf("X-Autoncs-Key headers differ or are missing: %q vs %q", dupKeys[0], dupKeys[1])
+	}
+	if !bytes.Equal(dupPayloads[0], dupPayloads[1]) {
+		t.Fatal("coalesced duplicate payload not bit-identical")
+	}
+	m, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pair ran exactly one compile: two so far in this daemon's life
+	// (the first request's, and this one).
+	if m.Compiles != 2 || m.JobsCompleted != 2 {
+		t.Fatalf("compiles %d jobs_completed %d after the duplicate pair, want 2/2", m.Compiles, m.JobsCompleted)
+	}
+	if m.JobsCoalesced != 1 {
+		t.Fatalf("metrics jobs_coalesced = %d, want 1", m.JobsCoalesced)
+	}
+	if m.RequestRecords == 0 || m.LastRequest == nil {
+		t.Fatalf("per-request timing missing from /metrics: records=%d last=%v", m.RequestRecords, m.LastRequest)
 	}
 
 	// Saturate the single slot + single queue entry with slow fresh
@@ -194,7 +269,7 @@ func TestDaemonDiskCache(t *testing.T) {
 	defer cancel()
 	req := client.CompileRequest{Random: &client.RandomSpec{N: 200, Sparsity: 0.94, Seed: 1}, SkipPhysical: true}
 
-	c1, cmd1 := startDaemon(t, "-cache-dir", dir)
+	c1, _, cmd1 := startDaemon(t, "-cache-dir", dir)
 	first, err := c1.CompileWait(ctx, req)
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +283,7 @@ func TestDaemonDiskCache(t *testing.T) {
 		t.Fatalf("first daemon exit: %v", err)
 	}
 
-	c2, _ := startDaemon(t, "-cache-dir", dir)
+	c2, _, _ := startDaemon(t, "-cache-dir", dir)
 	second, err := c2.CompileWait(ctx, req)
 	if err != nil {
 		t.Fatal(err)

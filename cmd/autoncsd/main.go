@@ -1,7 +1,9 @@
 // Command autoncsd serves the AutoNCS flow over HTTP: compile jobs are
 // submitted as JSON, executed on a bounded worker pool, and answered from a
 // content-addressed result cache when the same network/config pair has been
-// compiled before.
+// compiled before. Identical submissions in flight coalesce onto a single
+// compile (single-flight keyed by the content address), and jobs carry a
+// two-level priority — interactive work jumps the batch queue.
 //
 // Usage:
 //
@@ -36,6 +38,8 @@ func main() {
 		slots        = flag.Int("slots", 0, "concurrent compile slots (0 = 2)")
 		queue        = flag.Int("queue", 0, "bounded job-queue depth beyond the running slots (0 = 8)")
 		workers      = flag.Int("workers", 0, "worker-pool size per compile (0 = NumCPU/slots)")
+		batchSize    = flag.Int("batch-size", 0, "admission batcher max batch size (0 = 16)")
+		batchWindow  = flag.Duration("batch-window", 0, "how long admission waits to fill a batch (0 = 2ms)")
 		cacheDir     = flag.String("cache-dir", "", "directory for the on-disk result cache (empty = memory only)")
 		cacheEntries = flag.Int("cache-entries", 0, "max in-memory cached results (0 = 256, -1 disables the memory layer)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for in-flight jobs before cancelling them")
@@ -58,6 +62,8 @@ func main() {
 		Slots:          *slots,
 		QueueDepth:     *queue,
 		CompileWorkers: *workers,
+		AdmitBatch:     *batchSize,
+		AdmitWindow:    *batchWindow,
 		Cache:          store,
 		Log:            log,
 	})

@@ -102,31 +102,59 @@ func New(opts Options) (*Store, error) {
 // the entry's LRU position; a memory miss falls back to the on-disk layer
 // (when configured) and promotes the value back into memory.
 func (s *Store) Get(k Key) ([]byte, bool) {
+	v, hit, _ := s.GetDetail(k)
+	return v, hit
+}
+
+// GetDetail is Get plus provenance: disk reports whether the hit was served
+// by the on-disk layer (and promoted back into memory) rather than the
+// memory LRU. Callers that surface layer-level hit statistics — the serving
+// layer's obs.CacheLookup events — use this form.
+func (s *Store) GetDetail(k Key) (v []byte, hit, disk bool) {
 	s.mu.Lock()
 	if el, ok := s.byKey[k]; ok {
 		s.ll.MoveToFront(el)
 		s.stats.Hits++
 		v := clone(el.Value.(*entry).val)
 		s.mu.Unlock()
-		return v, true
+		return v, true, false
 	}
 	dir := s.dir
 	s.mu.Unlock()
 	if dir == "" {
 		s.count(&s.stats.Misses)
-		return nil, false
+		return nil, false, false
 	}
 	v, err := os.ReadFile(s.path(k))
 	if err != nil {
 		s.count(&s.stats.Misses)
-		return nil, false
+		return nil, false, false
 	}
 	s.mu.Lock()
 	s.stats.Hits++
 	s.stats.DiskHits++
 	s.insertLocked(k, v)
 	s.mu.Unlock()
-	return clone(v), true
+	return clone(v), true, true
+}
+
+// Peek returns a copy of the payload stored under k in the memory layer
+// only: no disk fallback, no LRU refresh on the probed entry's neighbours,
+// and — unlike Get — no miss is counted when the key is absent, so probing
+// does not distort the hit-rate statistics. Peek is O(1) and holds the
+// store lock only briefly, which makes it safe to call from under another
+// subsystem's lock; the serving layer uses it as its admission-time
+// re-check after the handler's full (disk-capable) probe missed.
+func (s *Store) Peek(k Key) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	s.stats.Hits++
+	return clone(el.Value.(*entry).val), true
 }
 
 // Put stores the payload under k in memory and — when configured — on

@@ -165,3 +165,78 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPeekMemoryOnly: Peek hits the memory layer, never disk, and an
+// absent key does not count as a miss (it is the serving layer's
+// admission-time probe, which must not distort the hit rate).
+func TestPeekMemoryOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{MaxEntries: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := keyOf(1), keyOf(2)
+	if err := s.Put(a, []byte("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b, []byte("bb")); err != nil {
+		t.Fatal(err)
+	}
+	// a has been evicted from memory but lives on disk: Peek must miss it
+	// without counting a miss, while Get still finds it.
+	if _, ok := s.Peek(a); ok {
+		t.Fatal("Peek served an evicted entry (went to disk?)")
+	}
+	if got := s.Stats().Misses; got != 0 {
+		t.Fatalf("Peek miss counted as a miss: %d", got)
+	}
+	v, ok := s.Peek(b)
+	if !ok || !bytes.Equal(v, []byte("bb")) {
+		t.Fatalf("Peek(b) = %q, %v", v, ok)
+	}
+	if st := s.Stats(); st.Hits != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats after Peek hit: %+v", st)
+	}
+	// Mutating the returned slice must not corrupt the store.
+	v[0] = 'X'
+	if w, _ := s.Peek(b); !bytes.Equal(w, []byte("bb")) {
+		t.Fatal("Peek returned an aliased slice")
+	}
+	if got, ok := s.Get(a); !ok || !bytes.Equal(got, []byte("aa")) {
+		t.Fatalf("Get(a) after Peek miss = %q, %v", got, ok)
+	}
+}
+
+// TestGetDetailProvenance: GetDetail distinguishes memory hits from disk
+// hits (which promote) from misses.
+func TestGetDetailProvenance(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{MaxEntries: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := keyOf(1), keyOf(2)
+	if err := s.Put(a, []byte("aa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, disk := s.GetDetail(a); !hit || disk {
+		t.Fatalf("memory entry: hit=%v disk=%v, want true/false", hit, disk)
+	}
+	if err := s.Put(b, []byte("bb")); err != nil { // evicts a from memory
+		t.Fatal(err)
+	}
+	if _, hit, disk := s.GetDetail(a); !hit || !disk {
+		t.Fatalf("disk entry: hit=%v disk=%v, want true/true", hit, disk)
+	}
+	// The disk hit promoted a back into memory.
+	if _, hit, disk := s.GetDetail(a); !hit || disk {
+		t.Fatalf("promoted entry: hit=%v disk=%v, want true/false", hit, disk)
+	}
+	if _, hit, _ := s.GetDetail(keyOf(9)); hit {
+		t.Fatal("absent key reported as hit")
+	}
+	st := s.Stats()
+	if st.Hits != 3 || st.DiskHits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want hits=3 diskHits=1 misses=1", st)
+	}
+}

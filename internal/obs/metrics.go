@@ -26,6 +26,7 @@ type MetricsSnapshot struct {
 	Relaxations      int // RouteRelaxation events
 	CacheHits        int // CacheLookup events with Hit
 	CacheMisses      int // CacheLookup events without Hit
+	RequestRecords   int // RequestTiming events (terminal serving-layer jobs)
 	StageTimes       map[Stage]time.Duration
 	CompileElapsed   time.Duration // total wall time of the last finished compile
 	LastISC          ISCIteration
@@ -33,8 +34,9 @@ type MetricsSnapshot struct {
 	LastPlace        PlaceProgress
 	LastPlaceStats   PlaceStats // stats of the last finished placement
 	LastRoute        RouteBatch
-	LastRouteStats   RouteStats // stats of the last finished routing
-	Err              error      // error of the last StageEnd/CompileEnd that carried one
+	LastRouteStats   RouteStats    // stats of the last finished routing
+	LastRequest      RequestTiming // timing record of the last terminal job
+	Err              error         // error of the last StageEnd/CompileEnd that carried one
 }
 
 // Observe implements Observer.
@@ -82,6 +84,9 @@ func (m *Metrics) Observe(e Event) {
 		} else {
 			m.snap.CacheMisses++
 		}
+	case RequestTiming:
+		m.snap.RequestRecords++
+		m.snap.LastRequest = e
 	}
 }
 

@@ -183,6 +183,30 @@ type CacheLookup struct {
 	Disk bool // the hit was served by the on-disk layer
 }
 
+// RequestTiming is the serving layer's flat per-request latency record,
+// emitted once per job as it reaches a terminal state: where the request's
+// wall time went (admission wait, queue wait, compile run) and how it was
+// answered (fresh compile, coalesced onto another submission's compile, or
+// straight from the result cache). The record is deliberately flat — every
+// field is a scalar — so a fleet can dump the stream into CSV and analyze
+// serving latency without JSON unnesting; client.RequestTiming carries the
+// same record on the wire with CSV helpers. Like CacheLookup, it is a
+// server-side event: a bare CLI compile never produces one.
+type RequestTiming struct {
+	Job       string // job record id
+	Key       string // content address, lowercase hex
+	Priority  string // "interactive" or "batch"
+	Coalesced bool   // answered by another submission's in-flight compile
+	CacheHit  bool   // answered from the result cache, no compile involved
+	State     string // terminal state: done, failed, or cancelled
+
+	Submitted time.Time     // when the request entered the handler
+	AdmitWait time.Duration // submit → admission decision (the batcher window)
+	QueueWait time.Duration // admission → compile start (zero when attached mid-run)
+	Run       time.Duration // compile start → terminal state
+	Total     time.Duration // submit → terminal state
+}
+
 func (CompileStart) event()    {}
 func (CompileEnd) event()      {}
 func (StageStart) event()      {}
@@ -195,6 +219,7 @@ func (RouteBatch) event()      {}
 func (RouteRelaxation) event() {}
 func (RouteStats) event()      {}
 func (CacheLookup) event()     {}
+func (RequestTiming) event()   {}
 
 // Observer receives the flow's events. Implementations must not block for
 // long (they run on the flow's control goroutine) and must not assume any

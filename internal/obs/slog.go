@@ -76,5 +76,13 @@ func (s slogObserver) Observe(e Event) {
 			"finalCapacity", e.FinalCapacity)
 	case CacheLookup:
 		s.l.Info("cache lookup", "key", e.Key, "hit", e.Hit, "disk", e.Disk)
+	case RequestTiming:
+		// One flat line per terminal job: every field scalar, fixed key
+		// order, grep/CSV-friendly.
+		s.l.Info("request timing",
+			"job", e.Job, "key", e.Key, "priority", e.Priority,
+			"coalesced", e.Coalesced, "cacheHit", e.CacheHit, "state", e.State,
+			"admitWait", e.AdmitWait, "queueWait", e.QueueWait,
+			"run", e.Run, "total", e.Total)
 	}
 }

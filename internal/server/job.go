@@ -1,22 +1,33 @@
 package server
 
 import (
-	"context"
 	"sync"
 	"time"
 
 	"repro/client"
+	"repro/internal/obs"
 )
 
-// job is one submitted compile. The spec and identifiers are immutable
-// after creation; the lifecycle fields are guarded by mu. done closes
-// exactly once, when the job reaches a terminal state.
+// job is one submitted compile request: a queryable record with its own id
+// and ?wait=1 semantics. Several jobs may share one compile — the flight
+// they are attached to (see flight.go) — in which case exactly one of them
+// (the leader) occupies a queue slot and the rest are followers. Cache-hit
+// jobs are born terminal and attach to nothing.
+//
+// The id, spec, flight pointer, follower flag, and priority are immutable
+// after registration. The lifecycle fields are guarded by mu; `detached`
+// is guarded by the Server's mu (it is part of the flight's waiter
+// accounting, not the job's own state). done closes exactly once, when the
+// job reaches a terminal state.
 type job struct {
-	id     string
-	spec   *compileSpec
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	id       string
+	spec     *compileSpec
+	fl       *flight // shared compile this record is attached to; nil for cache hits
+	follower bool    // attached to an existing flight rather than leading it
+	priority string  // client.PriorityInteractive or client.PriorityBatch
+	done     chan struct{}
+
+	detached bool // interest withdrawn (guarded by Server.mu)
 
 	mu         sync.Mutex
 	state      string
@@ -24,21 +35,25 @@ type job struct {
 	err        error
 	result     []byte
 	submitted  time.Time
+	admitted   time.Time
 	started    time.Time
 	finished   time.Time
 	stageTimes map[string]float64
 }
 
-// setRunning transitions queued → running (no-op for a job already
-// terminal, which cannot happen: only the owning worker calls it).
-func (j *job) setRunning() {
+// setRunningAt transitions queued → running. Followers attached after the
+// compile started receive the flight's start time, so StartedAt means "when
+// the shared compile started" on every attached record.
+func (j *job) setRunningAt(t time.Time) {
 	j.mu.Lock()
 	j.state = client.StateRunning
-	j.started = time.Now()
+	j.started = t
 	j.mu.Unlock()
 }
 
-// finish moves the job to a terminal state and wakes every waiter.
+// finish moves the job to a terminal state and wakes every waiter. It must
+// be called at most once; the Server serializes all finishes of
+// flight-attached jobs under its own mu.
 func (j *job) finish(state string, result []byte, err error, stageTimes map[string]float64) {
 	j.mu.Lock()
 	j.state = state
@@ -47,7 +62,6 @@ func (j *job) finish(state string, result []byte, err error, stageTimes map[stri
 	j.stageTimes = stageTimes
 	j.finished = time.Now()
 	j.mu.Unlock()
-	j.cancel() // release the context's resources; the flow has returned
 	close(j.done)
 }
 
@@ -71,6 +85,44 @@ func (j *job) resultBytes() []byte {
 	return j.result
 }
 
+// timingRecord renders the finished job as the flat per-request timing
+// record the serving layer emits through internal/obs. Only meaningful on
+// a terminal job.
+func (j *job) timingRecord() obs.RequestTiming {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	t := obs.RequestTiming{
+		Job:       j.id,
+		Key:       j.spec.key.Hex(),
+		Priority:  j.priority,
+		Coalesced: j.follower,
+		CacheHit:  j.cached,
+		State:     j.state,
+		Submitted: j.submitted,
+	}
+	if !j.admitted.IsZero() {
+		t.AdmitWait = nonNegative(j.admitted.Sub(j.submitted))
+	}
+	switch {
+	case !j.started.IsZero():
+		// A follower attached mid-compile has admitted > started; its queue
+		// wait is zero, not negative.
+		t.QueueWait = nonNegative(j.started.Sub(j.admitted))
+		t.Run = nonNegative(j.finished.Sub(j.started))
+	case !j.admitted.IsZero():
+		t.QueueWait = nonNegative(j.finished.Sub(j.admitted))
+	}
+	t.Total = nonNegative(j.finished.Sub(j.submitted))
+	return t
+}
+
+func nonNegative(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // status snapshots the job as its wire representation. When embedResult is
 // set and the job is done, the payload rides along (the wait=1 response).
 func (j *job) status(embedResult bool) client.JobStatus {
@@ -81,6 +133,8 @@ func (j *job) status(embedResult bool) client.JobStatus {
 		State:       j.state,
 		Key:         j.spec.key.Hex(),
 		Cached:      j.cached,
+		Coalesced:   j.follower,
+		Priority:    j.priority,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 		StageTimes:  j.stageTimes,
 	}

@@ -6,13 +6,19 @@
 // Design in one paragraph: a POST materializes the request into a
 // (network, config, key) spec, probes the cache — a hit answers
 // immediately with the stored payload, bit-identical to what a fresh
-// compile would produce — and otherwise enqueues a job onto a channel of
-// bounded depth drained by a fixed pool of worker goroutines. Each job
-// runs under its own context.Context, so DELETE /v1/jobs/{id} (or a
-// disconnected ?wait=1 caller) aborts the flow mid-stage through the
-// pipeline's cancellation plumbing. Drain stops intake, lets the queue run
-// dry, and optionally cancels stragglers when its context expires —
-// cmd/autoncsd wires SIGTERM to it.
+// compile would produce — and otherwise goes through the admission
+// batcher, which coalesces identical submissions onto one in-flight
+// compile (a single-flight table keyed by the content address, see
+// flight.go): the first submission of a key leads and occupies a queue
+// slot, later ones attach as followers at zero queue cost, and all finish
+// with the same bit-identical payload. Admitted leaders land on one of
+// two priority queues (interactive jumps batch) drained by a fixed pool
+// of worker goroutines. Each compile runs under a flight-owned
+// context.Context with reference-counted interest: DELETE /v1/jobs/{id}
+// or a disconnected ?wait=1 caller withdraws one submission, and the
+// compile aborts only when the last interested waiter is gone. Drain
+// stops intake, lets the queues run dry, and optionally cancels
+// stragglers when its context expires — cmd/autoncsd wires SIGTERM to it.
 package server
 
 import (
@@ -40,13 +46,21 @@ import (
 type Options struct {
 	// Slots is the number of compiles that run concurrently; 0 means 2.
 	Slots int
-	// QueueDepth bounds how many accepted jobs may wait for a slot; 0
-	// means 8. A full queue rejects with 429 + Retry-After.
+	// QueueDepth bounds how many accepted leader jobs may wait for a slot
+	// across both priorities; 0 means 8. A full queue rejects with 429 +
+	// Retry-After. Followers attach to in-flight compiles without
+	// consuming queue capacity.
 	QueueDepth int
 	// CompileWorkers is the worker-pool bound handed to each compile
 	// (Config.Workers); 0 divides the CPUs evenly across the slots. The
 	// compiled results are identical for any value.
 	CompileWorkers int
+	// AdmitBatch is the admission batcher's maximum batch size; 0 means 16.
+	AdmitBatch int
+	// AdmitWindow is how long the batcher waits to fill a batch after the
+	// first submission arrives; 0 means 2ms. Admission latency is bounded
+	// by this window, negligible against any compile.
+	AdmitWindow time.Duration
 	// Cache is the content-addressed result store; nil creates a default
 	// in-memory store.
 	Cache *cache.Store
@@ -60,6 +74,8 @@ type Server struct {
 	slots          int
 	queueDepth     int
 	compileWorkers int
+	admitBatch     int
+	admitWait      time.Duration
 	cache          *cache.Store
 	log            *slog.Logger
 	metrics        *obs.Metrics
@@ -68,17 +84,28 @@ type Server struct {
 	// drain deterministically.
 	compileFn func(context.Context, *compileSpec, int, obs.Observer) (*autoncs.Result, error)
 
-	baseCtx    context.Context
-	baseCancel context.CancelFunc
-	queue      chan *job
-	workers    sync.WaitGroup
-	start      time.Time
+	baseCtx      context.Context
+	baseCancel   context.CancelFunc
+	qInteractive chan *job
+	qBatch       chan *job
+	workers      sync.WaitGroup
+	start        time.Time
 
-	mu       sync.Mutex
-	draining bool
-	jobs     map[string]*job
-	order    []string // job ids oldest-first, for record eviction
-	seq      int64
+	admitCh   chan *admitReq
+	admitMu   sync.RWMutex // write-locked once, when intake stops for good
+	stopAdmit chan struct{}
+	stopOnce  sync.Once
+	aux       sync.WaitGroup // the admission batcher goroutine
+
+	mu           sync.Mutex
+	draining     bool
+	admitStopped bool // guarded by admitMu, not mu
+	queuedJobs   int  // leaders admitted to either queue, not yet picked up
+	admitRounds  int64
+	flights      map[cache.Key]*flight
+	jobs         map[string]*job
+	order        []string // job ids oldest-first, for record eviction
+	seq          int64
 
 	inflight       atomic.Int64
 	accepted       atomic.Int64
@@ -86,6 +113,8 @@ type Server struct {
 	failed         atomic.Int64
 	cancelled      atomic.Int64
 	rejected       atomic.Int64
+	cacheHits      atomic.Int64
+	coalesced      atomic.Int64
 	lastJobSeconds atomic.Int64 // rounded up, for Retry-After estimates
 }
 
@@ -93,7 +122,15 @@ type Server struct {
 // results stay retrievable through the cache regardless.
 const maxJobRecords = 4096
 
-// New starts a Server: the worker pool is live when New returns.
+// maxRequestBody bounds a POST /v1/compile body; beyond it the request is
+// answered with 413.
+const maxRequestBody = 32 << 20
+
+// drainRetryAfter is the Retry-After hint on 503s during shutdown.
+const drainRetryAfter = 10 * time.Second
+
+// New starts a Server: the worker pool and admission batcher are live when
+// New returns.
 func New(opts Options) (*Server, error) {
 	slots := opts.Slots
 	if slots == 0 {
@@ -119,6 +156,20 @@ func New(opts Options) (*Server, error) {
 			cw = 1
 		}
 	}
+	ab := opts.AdmitBatch
+	if ab == 0 {
+		ab = 16
+	}
+	if ab < 0 {
+		return nil, fmt.Errorf("server: negative admit batch %d", ab)
+	}
+	aw := opts.AdmitWindow
+	if aw == 0 {
+		aw = 2 * time.Millisecond
+	}
+	if aw < 0 {
+		return nil, fmt.Errorf("server: negative admit window %v", aw)
+	}
 	store := opts.Cache
 	if store == nil {
 		var err error
@@ -135,18 +186,26 @@ func New(opts Options) (*Server, error) {
 		slots:          slots,
 		queueDepth:     depth,
 		compileWorkers: cw,
+		admitBatch:     ab,
+		admitWait:      aw,
 		cache:          store,
 		log:            log,
 		metrics:        &obs.Metrics{},
 		baseCtx:        ctx,
 		baseCancel:     cancel,
-		queue:          make(chan *job, depth),
+		qInteractive:   make(chan *job, depth),
+		qBatch:         make(chan *job, depth),
+		admitCh:        make(chan *admitReq, 64),
+		stopAdmit:      make(chan struct{}),
 		start:          time.Now(),
+		flights:        make(map[cache.Key]*flight),
 		jobs:           make(map[string]*job),
 	}
 	s.compileFn = func(ctx context.Context, sp *compileSpec, workers int, ob obs.Observer) (*autoncs.Result, error) {
 		return sp.run(ctx, workers, ob)
 	}
+	s.aux.Add(1)
+	go s.admitter()
 	s.workers.Add(slots)
 	for i := 0; i < slots; i++ {
 		go s.worker()
@@ -176,7 +235,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		close(s.qInteractive)
+		close(s.qBatch)
 	}
 	s.mu.Unlock()
 	done := make(chan struct{})
@@ -184,14 +244,28 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.workers.Wait()
 		close(done)
 	}()
+	var derr error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.baseCancel()
 		<-done
-		return ctx.Err()
+		derr = ctx.Err()
 	}
+	s.stopAdmitter()
+	return derr
+}
+
+// stopAdmitter shuts the admission batcher down: no further intake, the
+// channel is flushed with 503s, and the goroutine exits.
+func (s *Server) stopAdmitter() {
+	s.stopOnce.Do(func() {
+		s.admitMu.Lock()
+		s.admitStopped = true
+		s.admitMu.Unlock()
+		close(s.stopAdmit)
+	})
+	s.aux.Wait()
 }
 
 // Close is an immediate Drain: cancel everything, wait for the workers.
@@ -202,67 +276,137 @@ func (s *Server) Close() {
 	s.baseCancel()
 }
 
-// worker drains the queue until Drain closes it.
+// worker drains the priority queues until Drain closes them.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.nextJob()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
 }
 
-// runJob executes one queued job to a terminal state.
+// nextJob takes the next leader job, preferring interactive work without
+// ever starving batch: an interactive job ready right now wins; otherwise
+// whichever queue delivers first. Both channels close on Drain; their
+// buffered remainders are still drained before the worker exits.
+func (s *Server) nextJob() (*job, bool) {
+	select {
+	case j, ok := <-s.qInteractive:
+		if ok {
+			return j, true
+		}
+		j, ok = <-s.qBatch
+		return j, ok
+	default:
+	}
+	select {
+	case j, ok := <-s.qInteractive:
+		if ok {
+			return j, true
+		}
+		j, ok = <-s.qBatch
+		return j, ok
+	case j, ok := <-s.qBatch:
+		if ok {
+			return j, true
+		}
+		j, ok = <-s.qInteractive
+		return j, ok
+	}
+}
+
+// runJob executes one queued leader job — and with it every follower
+// attached to its flight — to a terminal state.
 func (s *Server) runJob(j *job) {
-	if err := j.ctx.Err(); err != nil {
-		s.cancelled.Add(1)
-		j.finish(client.StateCancelled, nil, err, nil)
+	fl := j.fl
+	s.mu.Lock()
+	s.queuedJobs--
+	if err := fl.ctx.Err(); err != nil {
+		s.dropFlightLocked(fl)
+		s.finishFlightLocked(fl, client.StateCancelled, nil, err, nil)
+		s.mu.Unlock()
 		s.log.Info("job cancelled before start", "job", j.id)
 		return
 	}
+	fl.running = true
+	fl.startedAt = time.Now()
+	for _, aj := range fl.jobs {
+		if !aj.terminal() {
+			aj.setRunningAt(fl.startedAt)
+		}
+	}
+	waiters := fl.waiters
+	s.mu.Unlock()
+
 	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
-	j.setRunning()
-	s.log.Info("job start", "job", j.id, "key", j.spec.key.Hex(), "neurons", j.spec.net.N())
+	s.log.Info("job start", "job", j.id, "key", j.spec.key.Hex(),
+		"neurons", j.spec.net.N(), "priority", j.priority, "waiters", waiters)
 	start := time.Now()
-	res, err := s.compileFn(j.ctx, j.spec, s.compileWorkers, s.metrics)
+	res, err := s.compileFn(fl.ctx, j.spec, s.compileWorkers, s.metrics)
 	elapsed := time.Since(start)
-	if err != nil {
-		state := client.StateFailed
+	s.inflight.Add(-1)
+	// Every terminal compile — done, failed, or cancelled — updates the
+	// Retry-After estimate, so it cannot go stale across a run of failures.
+	s.lastJobSeconds.Store(int64(math.Ceil(elapsed.Seconds())))
+	defer fl.cancel() // release the context's resources; the flow has returned
+
+	state := client.StateDone
+	var payload []byte
+	var stageTimes map[string]float64
+	switch {
+	case err != nil:
+		state = client.StateFailed
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			state = client.StateCancelled
-			s.cancelled.Add(1)
-		} else {
-			s.failed.Add(1)
 		}
-		j.finish(state, nil, err, nil)
-		s.log.Info("job end", "job", j.id, "state", state, "err", err)
-		return
+	default:
+		payload, err = encodeResult(j.spec, res)
+		if err != nil {
+			state = client.StateFailed
+			s.log.Error("job result encoding failed", "job", j.id, "err", err)
+		} else {
+			// Publish to the cache before dropping the flight, so a racing
+			// admission finds either the flight or the payload — never
+			// neither.
+			if perr := s.cache.Put(j.spec.key, payload); perr != nil {
+				// A cache write failure only costs future hits; the job is
+				// fine.
+				s.log.Warn("cache put failed", "job", j.id, "err", perr)
+			}
+			stageTimes = make(map[string]float64, len(res.StageTimes))
+			for stage, d := range res.StageTimes {
+				stageTimes[string(stage)] = d.Seconds()
+			}
+		}
 	}
-	payload, err := encodeResult(j.spec, res)
-	if err != nil {
-		s.failed.Add(1)
-		j.finish(client.StateFailed, nil, err, nil)
-		s.log.Error("job result encoding failed", "job", j.id, "err", err)
-		return
+
+	s.mu.Lock()
+	s.dropFlightLocked(fl)
+	if state == client.StateDone {
+		// Completed counts compiles run, not jobs answered: followers and
+		// cache hits have their own counters.
+		s.completed.Add(1)
 	}
-	if err := s.cache.Put(j.spec.key, payload); err != nil {
-		// A cache write failure only costs future hits; the job is fine.
-		s.log.Warn("cache put failed", "job", j.id, "err", err)
-	}
-	st := make(map[string]float64, len(res.StageTimes))
-	for stage, d := range res.StageTimes {
-		st[string(stage)] = d.Seconds()
-	}
-	s.completed.Add(1)
-	s.lastJobSeconds.Store(int64(math.Ceil(elapsed.Seconds())))
-	j.finish(client.StateDone, payload, nil, st)
-	s.log.Info("job end", "job", j.id, "state", "done", "elapsed", elapsed)
+	s.finishFlightLocked(fl, state, payload, err, stageTimes)
+	s.mu.Unlock()
+	s.log.Info("job end", "job", j.id, "state", state, "elapsed", elapsed, "waiters", waiters, "err", err)
 }
 
 // handleCompile is POST /v1/compile[?wait=1].
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	submitted := time.Now()
 	var req client.CompileRequest
-	body := http.MaxBytesReader(w, r.Body, 32<<20)
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit), 0)
+			return
+		}
 		s.writeErr(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err), 0)
 		return
 	}
@@ -272,44 +416,38 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wait := r.URL.Query().Get("wait") != ""
+	priority, err := resolvePriority(req.Priority, wait)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
 
 	// Cache probe. A hit never consumes a queue slot: the job record is
 	// born terminal.
-	payload, hit := s.cache.Get(spec.key)
-	s.metrics.Observe(obs.CacheLookup{Key: spec.key.Hex(), Hit: hit})
+	payload, hit, disk := s.cache.GetDetail(spec.key)
+	s.metrics.Observe(obs.CacheLookup{Key: spec.key.Hex(), Hit: hit, Disk: disk})
 	if hit {
-		j := s.newJob(spec)
-		j.cached = true
-		j.finish(client.StateDone, payload, nil, nil)
-		s.accepted.Add(1)
-		s.completed.Add(1)
-		s.log.Info("cache hit", "job", j.id, "key", spec.key.Hex())
+		j := s.cacheHitJob(spec, priority, payload, submitted)
+		s.log.Info("cache hit", "job", j.id, "key", spec.key.Hex(), "disk", disk)
 		s.writeJSON(w, http.StatusOK, j.status(wait))
 		return
 	}
 
-	j := s.newJob(spec)
-	s.mu.Lock()
-	if s.draining {
-		s.mu.Unlock()
-		s.dropJob(j)
-		s.writeErr(w, http.StatusServiceUnavailable, "draining: not accepting new work", 10*time.Second)
+	ar := &admitReq{spec: spec, priority: priority, submitted: submitted, resp: make(chan admitResult, 1)}
+	if !s.submitAdmit(ar) {
+		s.writeErr(w, http.StatusServiceUnavailable, "draining: not accepting new work", drainRetryAfter)
 		return
 	}
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-	default:
-		s.mu.Unlock()
-		s.dropJob(j)
-		s.rejected.Add(1)
-		s.writeErr(w, http.StatusTooManyRequests,
-			fmt.Sprintf("queue full (%d queued, %d running)", s.queueDepth, s.inflight.Load()),
-			s.retryAfter())
+	res := <-ar.resp
+	switch res.kind {
+	case admitRejected:
+		s.writeErr(w, res.code, res.msg, res.retryAfter)
+		return
+	case admitCached:
+		s.writeJSON(w, http.StatusOK, res.j.status(wait))
 		return
 	}
-	s.accepted.Add(1)
-
+	j := res.j
 	if !wait {
 		s.writeJSON(w, http.StatusAccepted, j.status(false))
 		return
@@ -318,10 +456,29 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	case <-j.done:
 		s.writeJSON(w, http.StatusOK, j.status(true))
 	case <-r.Context().Done():
-		// The waiting client vanished; its compile goes with it.
-		j.cancel()
+		// The waiting submitter vanished; its interest goes with it. The
+		// compile itself aborts only when no other waiter remains.
+		s.detachJob(j)
 		<-j.done
 	}
+}
+
+// resolvePriority maps the wire priority to the effective scheduling
+// class: explicit values pass through, and an empty priority defaults to
+// interactive for ?wait=1 submissions (a human is blocked on it) and
+// batch for fire-and-forget ones.
+func resolvePriority(p string, wait bool) (string, error) {
+	switch p {
+	case client.PriorityInteractive, client.PriorityBatch:
+		return p, nil
+	case "":
+		if wait {
+			return client.PriorityInteractive, nil
+		}
+		return client.PriorityBatch, nil
+	}
+	return "", fmt.Errorf("unknown priority %q (want %q or %q)",
+		p, client.PriorityInteractive, client.PriorityBatch)
 }
 
 // handleJob is GET /v1/jobs/{id}. With ?wait=1 it blocks until the job
@@ -343,9 +500,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, j.status(false))
 }
 
-// handleCancel is DELETE /v1/jobs/{id}: cooperative cancellation of a
-// queued or running job. Cancelling a terminal job is a no-op that
-// reports the final state.
+// handleCancel is DELETE /v1/jobs/{id}: withdraw one submission's interest
+// in its compile. The record finishes cancelled immediately; the shared
+// compile aborts only when this was its last interested waiter.
+// Cancelling a terminal job is a no-op that reports the final state.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobByID(r.PathValue("id"))
 	if !ok {
@@ -353,8 +511,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !j.terminal() {
-		j.cancel()
 		s.log.Info("job cancel requested", "job", j.id)
+		s.detachJob(j)
 	}
 	s.writeJSON(w, http.StatusAccepted, j.status(false))
 }
@@ -404,6 +562,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) snapshotMetrics() client.Metrics {
 	s.mu.Lock()
 	draining := s.draining
+	queued := s.queuedJobs
+	flights := len(s.flights)
+	admitRounds := s.admitRounds
 	s.mu.Unlock()
 	snap := s.metrics.Snapshot()
 	stageSeconds := make(map[string]float64, len(snap.StageTimes))
@@ -412,70 +573,52 @@ func (s *Server) snapshotMetrics() client.Metrics {
 			stageSeconds[string(stage)] = d.Seconds()
 		}
 	}
-	return client.Metrics{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Draining:      draining,
-		WorkerSlots:   s.slots,
-		QueueCapacity: s.queueDepth,
-		QueueDepth:    len(s.queue),
-		InFlight:      int(s.inflight.Load()),
-		JobsAccepted:  s.accepted.Load(),
-		JobsCompleted: s.completed.Load(),
-		JobsFailed:    s.failed.Load(),
-		JobsCancelled: s.cancelled.Load(),
-		JobsRejected:  s.rejected.Load(),
-		CacheHits:     int64(snap.CacheHits),
-		CacheMisses:   int64(snap.CacheMisses),
-		CacheEntries:  s.cache.Len(),
-		Compiles:      snap.Compiles,
-		StageSeconds:  stageSeconds,
+	m := client.Metrics{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Draining:         draining,
+		WorkerSlots:      s.slots,
+		QueueCapacity:    s.queueDepth,
+		QueueDepth:       queued,
+		QueueInteractive: len(s.qInteractive),
+		QueueBatch:       len(s.qBatch),
+		InFlight:         int(s.inflight.Load()),
+		Flights:          flights,
+		AdmitRounds:      admitRounds,
+		JobsAccepted:     s.accepted.Load(),
+		JobsCompleted:    s.completed.Load(),
+		JobsFailed:       s.failed.Load(),
+		JobsCancelled:    s.cancelled.Load(),
+		JobsRejected:     s.rejected.Load(),
+		JobsCacheHits:    s.cacheHits.Load(),
+		JobsCoalesced:    s.coalesced.Load(),
+		CacheHits:        int64(snap.CacheHits),
+		CacheMisses:      int64(snap.CacheMisses),
+		CacheEntries:     s.cache.Len(),
+		Compiles:         snap.Compiles,
+		StageSeconds:     stageSeconds,
+		RequestRecords:   int64(snap.RequestRecords),
 	}
+	if snap.RequestRecords > 0 {
+		m.LastRequest = wireTiming(snap.LastRequest)
+	}
+	return m
 }
 
-// newJob allocates and registers a job record.
-func (s *Server) newJob(spec *compileSpec) *job {
-	ctx, cancel := context.WithCancel(s.baseCtx)
-	s.mu.Lock()
-	s.seq++
-	j := &job{
-		id:        fmt.Sprintf("j-%06d", s.seq),
-		spec:      spec,
-		ctx:       ctx,
-		cancel:    cancel,
-		done:      make(chan struct{}),
-		state:     client.StateQueued,
-		submitted: time.Now(),
+// wireTiming converts the internal timing record to its wire form.
+func wireTiming(t obs.RequestTiming) *client.RequestTiming {
+	return &client.RequestTiming{
+		Job:              t.Job,
+		Key:              t.Key,
+		Priority:         t.Priority,
+		Coalesced:        t.Coalesced,
+		CacheHit:         t.CacheHit,
+		State:            t.State,
+		SubmittedAt:      t.Submitted.UTC().Format(time.RFC3339Nano),
+		AdmitWaitSeconds: t.AdmitWait.Seconds(),
+		QueueWaitSeconds: t.QueueWait.Seconds(),
+		RunSeconds:       t.Run.Seconds(),
+		TotalSeconds:     t.Total.Seconds(),
 	}
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
-	// Evict the oldest finished records beyond the cap; never an active
-	// job (an unfinished head stalls eviction, which is fine — the cap is
-	// far above any plausible active set).
-	for len(s.order) > maxJobRecords {
-		old, ok := s.jobs[s.order[0]]
-		if ok && !old.terminal() {
-			break
-		}
-		delete(s.jobs, s.order[0])
-		s.order = s.order[1:]
-	}
-	s.mu.Unlock()
-	return j
-}
-
-// dropJob removes a job record that was never admitted (queue full or
-// draining) so rejected submissions aren't queryable ghosts.
-func (s *Server) dropJob(j *job) {
-	j.cancel()
-	s.mu.Lock()
-	delete(s.jobs, j.id)
-	for i, id := range s.order {
-		if id == j.id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
-	s.mu.Unlock()
 }
 
 func (s *Server) jobByID(id string) (*job, bool) {
@@ -485,7 +628,7 @@ func (s *Server) jobByID(id string) (*job, bool) {
 	return j, ok
 }
 
-// retryAfter estimates when a slot is likely to free: the last completed
+// retryAfter estimates when a slot is likely to free: the last terminal
 // compile's duration, clamped to [1s, 60s].
 func (s *Server) retryAfter() time.Duration {
 	secs := s.lastJobSeconds.Load()

@@ -92,8 +92,16 @@ func TestCompileCacheHitBitIdentical(t *testing.T) {
 	if m.CacheHits != 1 || m.CacheMisses != 1 {
 		t.Errorf("cache metrics hits=%d misses=%d, want 1/1", m.CacheHits, m.CacheMisses)
 	}
-	if m.JobsCompleted != 2 || m.Compiles != 1 {
-		t.Errorf("jobs completed %d compiles %d, want 2/1", m.JobsCompleted, m.Compiles)
+	// Completed counts compiles run, not jobs answered: the cache hit has
+	// its own counter and must not inflate JobsCompleted.
+	if m.JobsCompleted != 1 || m.Compiles != 1 {
+		t.Errorf("jobs completed %d compiles %d, want 1/1", m.JobsCompleted, m.Compiles)
+	}
+	if m.JobsCacheHits != 1 {
+		t.Errorf("jobs cache hits %d, want 1", m.JobsCacheHits)
+	}
+	if m.JobsAccepted != 2 {
+		t.Errorf("jobs accepted %d, want 2", m.JobsAccepted)
 	}
 	if m.StageSeconds["clustering"] <= 0 {
 		t.Errorf("no clustering stage time surfaced: %v", m.StageSeconds)
