@@ -102,6 +102,11 @@ type JobStatus struct {
 	// in-flight compile of the same key instead of queueing its own; the
 	// result bytes are identical either way.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Peer is the base URL of the fleet peer whose cache answered this job,
+	// set exactly when the payload was fetched from a remote member's cache
+	// (Cached is also true then). Empty for local cache hits and fresh
+	// compiles.
+	Peer string `json:"peer,omitempty"`
 	// Priority is the scheduling class the job ran under.
 	Priority string `json:"priority,omitempty"`
 	// Error is set when State is failed or cancelled.
@@ -200,6 +205,24 @@ type Metrics struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
+
+	// Fleet counters, all zero on a daemon running without -peers. Peers is
+	// the configured membership including this daemon; PeersAlive is the
+	// members currently in the ring (self plus every remote whose circuit
+	// breaker is closed). PeerHits counts local misses answered from a
+	// peer's cache, PeerMisses healthy-peer "not cached" answers, and
+	// PeerErrors lookups that failed after their retries.
+	Peers      int   `json:"peers,omitempty"`
+	PeersAlive int   `json:"peers_alive,omitempty"`
+	PeerHits   int64 `json:"peer_hits,omitempty"`
+	PeerMisses int64 `json:"peer_misses,omitempty"`
+	PeerErrors int64 `json:"peer_errors,omitempty"`
+
+	// RetryAfterSeconds is the daemon's current Retry-After estimate — the
+	// value a 429 rejection would carry right now, derived from the last
+	// terminal compile's duration. Shard-aware clients use it to surface
+	// the owner's backpressure estimate instead of a forwarder's guess.
+	RetryAfterSeconds float64 `json:"retry_after_seconds"`
 
 	// Compiles and StageSeconds aggregate the flow's own observer stream
 	// (internal/obs) across every job the daemon has run.

@@ -1,0 +1,205 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// Fleet is a shard-aware client over a static autoncsd fleet: it derives
+// each request's content address locally (CompileRequest.Spec — the same
+// derivation the daemons cache under), routes the submission to the key's
+// consistent-hash owner, and fails over along the ring's successor order
+// when the owner is unreachable. Routing to the owner is what makes the
+// fleet's peer caches effective — the owner either has the payload, is
+// already compiling it (the submission coalesces), or compiles and caches
+// it where every future lookup for that key will land.
+//
+// Failure semantics per attempt:
+//   - transport error (refused, timeout): the peer's circuit breaker is
+//     charged and the next ring node is tried;
+//   - 503 (draining): same — the daemon is going away, route around it;
+//   - 429 (queue full): returned immediately with the owner's own
+//     Retry-After estimate. Failing over would start a duplicate compile
+//     on a non-owner and defeat coalescing; backing off and resubmitting
+//     to the same owner is the productive move.
+//   - any other API error (400, 404, ...): returned immediately — it
+//     would fail identically everywhere.
+//
+// A Fleet is safe for concurrent use.
+type Fleet struct {
+	ring     *fleet.Ring
+	clients  map[string]*Client
+	breakers map[string]*fleet.Breaker
+}
+
+// FleetOptions tunes a Fleet beyond its peer list.
+type FleetOptions struct {
+	// HTTP is the http.Client shared by every per-peer Client; nil uses
+	// each Client's default.
+	HTTP *http.Client
+	// FailureThreshold consecutive failures take a peer out of the
+	// rotation; 0 means the fleet default (3).
+	FailureThreshold int
+	// RecoveryInterval is how long a failed peer sits out before a trial
+	// submission may readmit it; 0 means the fleet default (5s).
+	RecoveryInterval time.Duration
+}
+
+// NewFleet builds a shard-aware client over the given daemon base URLs.
+// Order and duplicate spellings do not matter; at least one peer is
+// required.
+func NewFleet(peers []string) (*Fleet, error) {
+	return NewFleetWith(peers, FleetOptions{})
+}
+
+// NewFleetWith is NewFleet with explicit options.
+func NewFleetWith(peers []string, o FleetOptions) (*Fleet, error) {
+	ring, err := fleet.NewRing(peers, 0)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		ring:     ring,
+		clients:  make(map[string]*Client, ring.Size()),
+		breakers: make(map[string]*fleet.Breaker, ring.Size()),
+	}
+	for _, m := range ring.Members() {
+		f.clients[m] = NewWith(m, o.HTTP)
+		f.breakers[m] = fleet.NewBreaker(o.FailureThreshold, o.RecoveryInterval)
+	}
+	return f, nil
+}
+
+// Members returns the normalized fleet membership.
+func (f *Fleet) Members() []string { return f.ring.Members() }
+
+// Owner returns the base URL of the daemon that owns the request's
+// content address — where a compile of it will be cached.
+func (f *Fleet) Owner(req CompileRequest) (string, error) {
+	key, err := req.CacheKey()
+	if err != nil {
+		return "", err
+	}
+	return f.ring.Owner(key), nil
+}
+
+// ClientFor returns a Client bound to the first live daemon in the
+// request's ring order (normally its owner), for follow-up calls — job
+// polling, result fetches — that must land on the daemon holding the job
+// record. The second result is that daemon's base URL.
+func (f *Fleet) ClientFor(req CompileRequest) (*Client, string, error) {
+	key, err := req.CacheKey()
+	if err != nil {
+		return nil, "", err
+	}
+	for _, m := range f.ring.Successors(key, 0) {
+		if f.breakers[m].Allow() {
+			return f.clients[m], m, nil
+		}
+	}
+	// Everything looks dead; hand back the true owner rather than nothing.
+	m := f.ring.Owner(key)
+	return f.clients[m], m, nil
+}
+
+// Compile routes a fire-and-forget submission to the key's owner (with
+// ring failover) and returns the job status the daemon answered with. Use
+// ClientFor to reach the same daemon for follow-up polling.
+func (f *Fleet) Compile(ctx context.Context, req CompileRequest) (*JobStatus, error) {
+	st, _, err := f.submit(ctx, req, false)
+	return st, err
+}
+
+// CompileWait routes a submission to the key's owner (with ring failover)
+// and blocks until the job finishes; the returned status embeds the
+// result payload.
+func (f *Fleet) CompileWait(ctx context.Context, req CompileRequest) (*JobStatus, error) {
+	st, _, err := f.submit(ctx, req, true)
+	return st, err
+}
+
+// Submit is Compile/CompileWait with the answering daemon's base URL
+// returned alongside the status.
+func (f *Fleet) Submit(ctx context.Context, req CompileRequest, wait bool) (*JobStatus, string, error) {
+	return f.submit(ctx, req, wait)
+}
+
+func (f *Fleet) submit(ctx context.Context, req CompileRequest, wait bool) (*JobStatus, string, error) {
+	key, err := req.CacheKey()
+	if err != nil {
+		return nil, "", err
+	}
+	var lastErr error
+	lastPeer := ""
+	tried := 0
+	for _, m := range f.ring.Successors(key, 0) {
+		if !f.breakers[m].Allow() {
+			continue
+		}
+		tried++
+		st, final, err := f.try(ctx, m, req, wait)
+		if final {
+			return st, m, err
+		}
+		lastErr, lastPeer = err, m
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if tried == 0 && ctx.Err() == nil {
+		// Every breaker is sitting out its recovery interval. Refusing to
+		// submit anywhere would turn a transient fleet outage into a hard
+		// client error, so make one last-resort attempt at the true owner.
+		m := f.ring.Owner(key)
+		st, _, err := f.try(ctx, m, req, wait)
+		return st, m, err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("fleet: no live daemon for key %x", key[:8])
+	}
+	return nil, lastPeer, lastErr
+}
+
+// try runs one submission attempt against member m and classifies the
+// outcome: final=true means the result (success or error) is the
+// submission's answer; final=false means route to the next ring node.
+func (f *Fleet) try(ctx context.Context, m string, req CompileRequest, wait bool) (*JobStatus, bool, error) {
+	c := f.clients[m]
+	var st *JobStatus
+	var err error
+	if wait {
+		st, err = c.CompileWait(ctx, req)
+	} else {
+		st, err = c.Compile(ctx, req)
+	}
+	if err == nil {
+		f.breakers[m].Success()
+		return st, true, nil
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		ae.Peer = m
+		if ae.Status == http.StatusServiceUnavailable {
+			// Draining: the daemon answered, but it is on its way out.
+			// Charge the breaker so subsequent submissions route around it
+			// without paying the round trip.
+			f.breakers[m].Failure()
+			return nil, false, err
+		}
+		// The daemon is healthy; the answer — including a 429 carrying the
+		// owner's own Retry-After estimate — is authoritative.
+		f.breakers[m].Success()
+		return nil, true, err
+	}
+	if ctx.Err() != nil {
+		// The caller gave up; that says nothing about the peer's health.
+		return nil, true, err
+	}
+	f.breakers[m].Failure()
+	return nil, false, err
+}

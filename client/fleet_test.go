@@ -1,0 +1,273 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// stubDaemon fakes one autoncsd's compile endpoint with a switchable
+// answer mode.
+type stubDaemon struct {
+	hs   *httptest.Server
+	url  string
+	hits atomic.Int64
+	mode atomic.Int32 // 0 ok, 1 queue-full 429, 2 draining 503
+}
+
+const (
+	stubOK = iota
+	stubBusy
+	stubDraining
+)
+
+func newStubDaemon(t *testing.T) *stubDaemon {
+	t.Helper()
+	d := &stubDaemon{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/compile", func(w http.ResponseWriter, r *http.Request) {
+		d.hits.Add(1)
+		switch d.mode.Load() {
+		case stubBusy:
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"}) //nolint:errcheck
+		case stubDraining:
+			w.Header().Set("Retry-After", "10")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "draining"}) //nolint:errcheck
+		default:
+			json.NewEncoder(w).Encode(JobStatus{ //nolint:errcheck
+				ID: "j-000001", State: StateDone, Cached: true,
+			})
+		}
+	})
+	d.hs = httptest.NewServer(mux)
+	d.url = d.hs.URL
+	t.Cleanup(d.hs.Close)
+	return d
+}
+
+// newStubFleet stands up three stub daemons and a Fleet over them.
+func newStubFleet(t *testing.T, o FleetOptions) (*Fleet, [3]*stubDaemon) {
+	t.Helper()
+	var ds [3]*stubDaemon
+	urls := make([]string, 3)
+	for i := range ds {
+		ds[i] = newStubDaemon(t)
+		urls[i] = ds[i].url
+	}
+	f, err := NewFleetWith(urls, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, ds
+}
+
+// reqOwnedBy finds a request whose ring order starts at daemon idx, with
+// daemon wantNext as the first failover target when nextIdx >= 0.
+func reqOwnedBy(t *testing.T, f *Fleet, ds [3]*stubDaemon, idx, nextIdx int) CompileRequest {
+	t.Helper()
+	for seed := int64(1); seed < 2000; seed++ {
+		req := CompileRequest{Random: &RandomSpec{N: 40, Sparsity: 0.9, Seed: 2}, Seed: seed, SkipPhysical: true}
+		key, err := req.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		succ := f.ring.Successors(key, 2)
+		if succ[0] != normalized(t, ds[idx].url) {
+			continue
+		}
+		if nextIdx >= 0 && succ[1] != normalized(t, ds[nextIdx].url) {
+			continue
+		}
+		return req
+	}
+	t.Fatal("no seed with the wanted ring order (implausible)")
+	return CompileRequest{}
+}
+
+func normalized(t *testing.T, raw string) string {
+	t.Helper()
+	m, err := fleet.NormalizeMember(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFleetRoutesToOwner: the submission lands on the key's ring owner;
+// the other daemons never see it.
+func TestFleetRoutesToOwner(t *testing.T) {
+	f, ds := newStubFleet(t, FleetOptions{})
+	req := reqOwnedBy(t, f, ds, 1, -1)
+
+	owner, err := f.Owner(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != normalized(t, ds[1].url) {
+		t.Fatalf("Owner() = %s, want daemon 1", owner)
+	}
+	st, peer, err := f.Submit(context.Background(), req, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state %s", st.State)
+	}
+	if peer != owner {
+		t.Fatalf("answered by %s, want owner %s", peer, owner)
+	}
+	if ds[1].hits.Load() != 1 || ds[0].hits.Load() != 0 || ds[2].hits.Load() != 0 {
+		t.Fatalf("hit counts: %d/%d/%d, want 0 everywhere but the owner",
+			ds[0].hits.Load(), ds[1].hits.Load(), ds[2].hits.Load())
+	}
+}
+
+// TestFleetFailsOverWhenOwnerDown: a dead owner is routed around — the
+// submission succeeds on the ring successor, and once the owner's breaker
+// opens, repeats skip the dead daemon without re-dialing it.
+func TestFleetFailsOverWhenOwnerDown(t *testing.T) {
+	f, ds := newStubFleet(t, FleetOptions{FailureThreshold: 1, RecoveryInterval: time.Hour})
+	req := reqOwnedBy(t, f, ds, 0, 1)
+	ds[0].hs.Close()
+
+	st, peer, err := f.Submit(context.Background(), req, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("state %s", st.State)
+	}
+	if peer != normalized(t, ds[1].url) {
+		t.Fatalf("answered by %s, want the ring successor", peer)
+	}
+	if br := f.breakers[normalized(t, ds[0].url)]; br.State() != fleet.BreakerOpen {
+		t.Fatalf("dead owner's breaker is %v, want open", br.State())
+	}
+
+	if _, _, err := f.Submit(context.Background(), req, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds[1].hits.Load(); got != 2 {
+		t.Fatalf("successor served %d submissions, want 2", got)
+	}
+}
+
+// TestFleet429IsFinal: a queue-full owner answers the submission — no
+// failover — and the error carries the owner's Retry-After estimate with
+// peer attribution.
+func TestFleet429IsFinal(t *testing.T) {
+	f, ds := newStubFleet(t, FleetOptions{})
+	req := reqOwnedBy(t, f, ds, 2, -1)
+	ds[2].mode.Store(stubBusy)
+
+	_, err := f.CompileWait(context.Background(), req)
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v, want APIError", err)
+	}
+	if ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", ae.Status)
+	}
+	if ae.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter %v, want the owner's 7s", ae.RetryAfter)
+	}
+	if ae.Peer != normalized(t, ds[2].url) {
+		t.Fatalf("Peer %q, want the owner", ae.Peer)
+	}
+	if !ae.IsRetryable() {
+		t.Fatal("a 429 must be retryable")
+	}
+	total := ds[0].hits.Load() + ds[1].hits.Load() + ds[2].hits.Load()
+	if total != 1 || ds[2].hits.Load() != 1 {
+		t.Fatalf("429 caused failover: hits %d/%d/%d",
+			ds[0].hits.Load(), ds[1].hits.Load(), ds[2].hits.Load())
+	}
+}
+
+// TestFleetDrainingFailsOver: a draining (503) daemon is routed around
+// and its breaker charged, so the fleet stops paying it round trips.
+func TestFleetDrainingFailsOver(t *testing.T) {
+	f, ds := newStubFleet(t, FleetOptions{FailureThreshold: 1, RecoveryInterval: time.Hour})
+	req := reqOwnedBy(t, f, ds, 0, 1)
+	ds[0].mode.Store(stubDraining)
+
+	st, peer, err := f.Submit(context.Background(), req, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone || peer != normalized(t, ds[1].url) {
+		t.Fatalf("state %s via %s, want done via the successor", st.State, peer)
+	}
+	if br := f.breakers[normalized(t, ds[0].url)]; br.State() != fleet.BreakerOpen {
+		t.Fatalf("draining daemon's breaker is %v, want open", br.State())
+	}
+}
+
+// TestFleetLastResortWhenAllDead: with every breaker open the fleet still
+// attempts the true owner instead of failing without trying.
+func TestFleetLastResortWhenAllDead(t *testing.T) {
+	d := newStubDaemon(t)
+	f, err := NewFleetWith([]string{d.url}, FleetOptions{FailureThreshold: 1, RecoveryInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.hs.Close()
+	req := CompileRequest{Random: &RandomSpec{N: 40, Sparsity: 0.9, Seed: 2}, Seed: 1, SkipPhysical: true}
+
+	if _, err := f.CompileWait(context.Background(), req); err == nil {
+		t.Fatal("submission to a dead fleet succeeded")
+	}
+	// Breaker is now open; the next submission must still dial the owner
+	// (a transport error, not a synthetic "no live daemon" one).
+	_, err = f.CompileWait(context.Background(), req)
+	if err == nil {
+		t.Fatal("second submission succeeded against a dead daemon")
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		t.Fatalf("got APIError %v, want a transport error from the last-resort dial", ae)
+	}
+}
+
+// TestFleetInvalidRequestFailsFast: a request error is detected locally
+// during key derivation — no daemon is contacted.
+func TestFleetInvalidRequestFailsFast(t *testing.T) {
+	f, ds := newStubFleet(t, FleetOptions{})
+	if _, err := f.CompileWait(context.Background(), CompileRequest{}); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	if total := ds[0].hits.Load() + ds[1].hits.Load() + ds[2].hits.Load(); total != 0 {
+		t.Fatalf("invalid request reached a daemon (%d hits)", total)
+	}
+}
+
+// TestRetryAfterHTTPDate: the HTTP-date form of Retry-After — what a
+// proxy in front of the fleet may rewrite delta-seconds to — parses into
+// a sane duration.
+func TestRetryAfterHTTPDate(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(30*time.Second).UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "queue full"}) //nolint:errcheck
+	}))
+	defer hs.Close()
+	c := New(hs.URL)
+	_, err := c.Metrics(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v, want APIError", err)
+	}
+	if ae.RetryAfter < 20*time.Second || ae.RetryAfter > 31*time.Second {
+		t.Fatalf("RetryAfter %v, want ~30s from the HTTP-date form", ae.RetryAfter)
+	}
+}

@@ -1,0 +1,233 @@
+package main
+
+// Three-daemon fleet end-to-end test, gated on AUTONCSD_BIN like
+// e2e_test.go:
+//
+//	go build -o /tmp/autoncsd ./cmd/autoncsd
+//	AUTONCSD_BIN=/tmp/autoncsd go test -v -run TestFleet ./cmd/autoncsd/
+//
+// It proves the peer cache protocol across real processes: a compile
+// cached on its consistent-hash owner is served to a sibling daemon as a
+// peer hit (bit-identical payload, peer provenance on the job, peer_hits
+// on /metrics), the raw /v1/cache/{key} endpoint answers GET and HEAD
+// with the content address echoed, and SIGKILLing the owner leaves the
+// survivors serving — the shard-aware client fails over, the dead peer
+// falls out of the ring (peers_alive decrements), and no request errors.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+)
+
+// reserveAddrs binds n ephemeral ports and releases them immediately:
+// fleet members must know each other's URLs before any of them starts, so
+// ephemeral -addr 127.0.0.1:0 cannot work here.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// fleetE2EReq compiles in well under a second (clustering only).
+func fleetE2EReq(seed int64) client.CompileRequest {
+	return client.CompileRequest{
+		Random:       &client.RandomSpec{N: 200, Sparsity: 0.94, Seed: 3},
+		Seed:         seed,
+		SkipPhysical: true,
+	}
+}
+
+func TestFleetE2E(t *testing.T) {
+	if os.Getenv("AUTONCSD_BIN") == "" {
+		t.Skip("AUTONCSD_BIN not set; build cmd/autoncsd and point AUTONCSD_BIN at it")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	addrs := reserveAddrs(t, 3)
+	urls := make([]string, 3)
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	peers := strings.Join(urls, ",")
+
+	cls := make([]*client.Client, 3)
+	cmds := make([]*exec.Cmd, 3)
+	for i := range urls {
+		c, _, cmd := startDaemon(t,
+			"-addr", addrs[i], "-self", urls[i], "-peers", peers,
+			"-slots", "1", "-peer-timeout", "2s", "-peer-recovery", "1h")
+		cls[i] = c
+		cmds[i] = cmd
+	}
+
+	// The fleet client shares the daemons' key derivation and ring layout.
+	fl, err := client.NewFleetWith(urls, client.FleetOptions{FailureThreshold: 1, RecoveryInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Find requests owned by daemon 0 (the one this test will kill).
+	var ownedSeeds []int64
+	for seed := int64(1); seed < 2000 && len(ownedSeeds) < 4; seed++ {
+		owner, err := fl.Owner(fleetE2EReq(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner == urls[0] {
+			ownedSeeds = append(ownedSeeds, seed)
+		}
+	}
+	if len(ownedSeeds) < 4 {
+		t.Fatalf("only %d of 1999 seeds owned by daemon 0 (implausible)", len(ownedSeeds))
+	}
+	req := fleetE2EReq(ownedSeeds[0])
+
+	// Compile on the owner, then submit the same request to daemon 1: it
+	// must be answered from daemon 0's cache through the peer protocol.
+	first, err := cls[0].CompileWait(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State != client.StateDone || first.Cached {
+		t.Fatalf("owner compile: %+v", first)
+	}
+	firstBytes, err := cls[0].ResultBytes(ctx, first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cls[1].CompileWait(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Peer != urls[0] {
+		t.Fatalf("sibling submission: cached=%v peer=%q, want a peer hit from %s",
+			second.Cached, second.Peer, urls[0])
+	}
+	secondBytes, err := cls[1].ResultBytes(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(firstBytes, secondBytes) {
+		t.Fatal("peer-served payload not bit-identical to the owner's")
+	}
+	m, err := cls[1].Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeerHits != 1 || m.PeerErrors != 0 || m.Peers != 3 || m.PeersAlive != 3 {
+		t.Fatalf("sibling metrics: hits=%d errors=%d peers=%d alive=%d, want 1/0/3/3",
+			m.PeerHits, m.PeerErrors, m.Peers, m.PeersAlive)
+	}
+	if m.JobsCompleted != 0 {
+		t.Fatalf("sibling ran %d compiles for a peer-served key", m.JobsCompleted)
+	}
+
+	// The raw peer protocol surface on the owner: GET serves the payload
+	// with the content address echoed, HEAD probes it for free.
+	resp, err := http.Get(urls[0] + "/v1/cache/" + first.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Autoncs-Key") != first.Key {
+		t.Fatalf("GET /v1/cache: status %d key %q", resp.StatusCode, resp.Header.Get("X-Autoncs-Key"))
+	}
+	if !bytes.Equal(cacheBytes, firstBytes) {
+		t.Fatal("/v1/cache payload differs from /v1/results payload")
+	}
+	head, err := http.Head(urls[0] + "/v1/cache/" + first.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, head.Body) //nolint:errcheck
+	head.Body.Close()
+	if head.StatusCode != http.StatusOK || head.ContentLength != int64(len(firstBytes)) {
+		t.Fatalf("HEAD /v1/cache: status %d length %d, want 200/%d",
+			head.StatusCode, head.ContentLength, len(firstBytes))
+	}
+
+	// Kill the owner outright (no drain) and keep submitting its keys
+	// through the shard-aware client: every submission must still succeed
+	// via ring failover, and the survivors must take the dead peer out of
+	// the ring instead of erroring.
+	if err := cmds[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmds[0].Wait() //nolint:errcheck // killed: non-zero exit is expected
+
+	for _, seed := range ownedSeeds[1:] {
+		st, peer, err := fl.Submit(ctx, fleetE2EReq(seed), true)
+		if err != nil {
+			t.Fatalf("submission after owner death: %v", err)
+		}
+		if st.State != client.StateDone {
+			t.Fatalf("submission after owner death ended %s via %s", st.State, peer)
+		}
+		if peer == urls[0] {
+			t.Fatal("fleet client routed to the killed daemon")
+		}
+	}
+
+	// The survivors' lookups against the dead owner open its breaker:
+	// peers_alive drops to 2 with the errors accounted. Which survivor
+	// crossed the threshold depends on key placement, so accept either.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ok := false
+		for i := 1; i < 3; i++ {
+			m, err := cls[i].Metrics(ctx)
+			if err != nil {
+				t.Fatalf("metrics from survivor %d: %v", i, err)
+			}
+			if m.PeersAlive == 2 && m.PeerErrors > 0 {
+				ok = true
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no survivor took the dead peer out of its ring within 30s")
+		}
+		// More A-owned traffic drives the survivors' breakers over the
+		// threshold.
+		if _, _, err := fl.Submit(ctx, fleetE2EReq(ownedSeeds[1]), true); err != nil {
+			t.Fatalf("follow-up submission: %v", err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Both survivors still serve fresh work end to end.
+	for i := 1; i < 3; i++ {
+		st, err := cls[i].CompileWait(ctx, client.CompileRequest{
+			Random: &client.RandomSpec{N: 120, Sparsity: 0.9, Seed: int64(40 + i)}, SkipPhysical: true,
+		})
+		if err != nil || st.State != client.StateDone {
+			t.Fatalf("survivor %d compile after owner death: %v / %+v", i, err, st)
+		}
+	}
+}

@@ -189,6 +189,18 @@ func (s *Store) Put(k Key, v []byte) error {
 	return nil
 }
 
+// PutMemory stores the payload under k in the memory LRU only, never on
+// disk. The serving layer uses it to write through payloads fetched from a
+// fleet peer's cache: the owning peer already persists the entry, so
+// replicating it onto every borrower's disk would just multiply the
+// fleet's storage footprint for bytes the ring will keep routing to the
+// owner anyway.
+func (s *Store) PutMemory(k Key, v []byte) {
+	s.mu.Lock()
+	s.insertLocked(k, clone(v))
+	s.mu.Unlock()
+}
+
 // Len returns the current in-memory entry count.
 func (s *Store) Len() int {
 	s.mu.Lock()

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit state of one peer.
+type BreakerState int
+
+const (
+	// BreakerClosed: the peer is presumed healthy; requests flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the peer failed repeatedly; requests are refused until
+	// the recovery interval elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the recovery interval elapsed and exactly one trial
+	// request is in flight; its outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Default breaker tuning: a peer is marked dead after
+// DefaultFailureThreshold consecutive failures and re-probed (one trial
+// request) every DefaultRecoveryInterval thereafter.
+const (
+	DefaultFailureThreshold = 3
+	DefaultRecoveryInterval = 5 * time.Second
+)
+
+// Breaker is a per-peer circuit breaker. The zero value is not usable;
+// use NewBreaker. All methods are safe for concurrent use.
+//
+// Lifecycle: closed counts consecutive failures and opens at the
+// threshold. Open refuses requests until the recovery interval elapses,
+// then admits exactly one trial (half-open). A half-open success closes
+// the circuit; a failure re-opens it and restarts the interval. Any
+// success resets the failure count — only *consecutive* failures open
+// the breaker, so a flaky-but-mostly-up peer stays in the ring.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	recovery  time.Duration
+	now       func() time.Time // injectable for deterministic transition tests
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+}
+
+// NewBreaker returns a closed breaker; zero arguments mean the defaults.
+func NewBreaker(threshold int, recovery time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultFailureThreshold
+	}
+	if recovery <= 0 {
+		recovery = DefaultRecoveryInterval
+	}
+	return &Breaker{threshold: threshold, recovery: recovery, now: time.Now}
+}
+
+// Allow reports whether a request may be sent to the peer right now.
+// On an open breaker whose recovery interval has elapsed it transitions
+// to half-open and admits the caller as the single trial — the caller
+// MUST then report Success or Failure, or the circuit stays half-open
+// (refusing everyone else) forever.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.recovery {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a trial is already in flight
+		return false
+	}
+}
+
+// Success records a successful request: the circuit closes and the
+// consecutive-failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed request. A closed circuit opens once the
+// consecutive-failure threshold is reached; a half-open trial failure
+// re-opens immediately and restarts the recovery interval.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.failures = b.threshold
+		b.openedAt = b.now()
+	case BreakerOpen:
+		// Late failure report from a request that raced the opening; the
+		// circuit is already open, nothing to update.
+	}
+}
+
+// State returns the current circuit state (open circuits whose recovery
+// interval has elapsed still report open until an Allow transitions
+// them).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

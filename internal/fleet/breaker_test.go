@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Breaker through its transitions deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedBreaker(threshold int, recovery time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, recovery)
+	c := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+// TestBreakerTransitions walks the full closed → open → half-open →
+// closed lifecycle under an injected clock.
+func TestBreakerTransitions(t *testing.T) {
+	b, clock := newClockedBreaker(3, 5*time.Second)
+
+	// Closed: requests flow, sub-threshold failures keep it closed.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after 2 of 3 failures, want closed", b.State())
+	}
+
+	// A success resets the consecutive count: two more failures still
+	// don't open it, only a third consecutive one does.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after 3 consecutive failures, want open", b.State())
+	}
+
+	// Open: refused until the recovery interval elapses.
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before recovery")
+	}
+	clock.advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request 1s early")
+	}
+	clock.advance(time.Second)
+
+	// Recovery elapsed: exactly one trial is admitted (half-open).
+	if !b.Allow() {
+		t.Fatal("recovered breaker refused the trial request")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v during trial, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+
+	// Trial failure re-opens and restarts the interval.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v after failed trial, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a request right after a failed trial")
+	}
+	clock.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the second trial after recovery")
+	}
+
+	// Trial success closes the circuit for good.
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after successful trial, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a request")
+	}
+}
+
+// TestBreakerFlakyPeer injects the flaky pattern — fail, fail, succeed,
+// repeatedly — and checks the breaker never opens: only consecutive
+// failures at the threshold count.
+func TestBreakerFlakyPeer(t *testing.T) {
+	b, _ := newClockedBreaker(3, 5*time.Second)
+	for round := 0; round < 50; round++ {
+		if !b.Allow() {
+			t.Fatalf("breaker opened on a flaky-but-recovering peer at round %d", round)
+		}
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %v after flaky rounds, want closed", b.State())
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package fleet is the horizontal half of the compile service: the
+// machinery a set of autoncsd daemons uses to share one logical result
+// cache instead of each recompiling what a peer already built.
+//
+// Three pieces compose it. Ring is a consistent-hash ring with virtual
+// nodes over the fleet's membership list: every compile key (the
+// content address from autoncs.CanonicalHash) has exactly one owner, the
+// assignment is identical on every member regardless of the order the
+// peer list was written in, and adding or removing one member remaps only
+// that member's keys. Breaker is a per-peer circuit breaker
+// (closed → open → half-open) so a dead peer costs one connection
+// timeout per failure threshold, not one per request. Fleet ties them
+// together: given a key whose effective owner (first live ring node) is a
+// remote peer, it probes that peer's cache endpoint with a bounded
+// timeout and exponential backoff, and reports hit/miss/error so the
+// serving layer can fall back to a local compile when the fleet cannot
+// help.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// DefaultVirtualNodes is the per-member virtual-node count when
+// RingOptions leaves it zero. 64 points per member keeps the expected
+// ownership imbalance of a small fleet under a few percent while the ring
+// stays tiny (a three-member fleet is 192 points, one binary search per
+// lookup).
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over a member list. Build one
+// with NewRing; lookups are safe for concurrent use.
+type Ring struct {
+	members []string // normalized, sorted, unique
+	points  []point  // sorted by position
+}
+
+// point is one virtual node: a position on the 64-bit ring and the index
+// of the member it belongs to.
+type point struct {
+	pos    uint64
+	member int
+}
+
+// NormalizeMember canonicalizes one member URL: scheme and host
+// lower-cased, trailing slashes dropped. Every spelling of the same
+// daemon must normalize identically or the fleet's rings disagree on
+// ownership; an unparsable or schemeless URL is an error.
+func NormalizeMember(raw string) (string, error) {
+	s := strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("fleet: member %q: %v", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("fleet: member %q: want an http(s) base URL", raw)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("fleet: member %q has no host", raw)
+	}
+	u.Scheme = strings.ToLower(u.Scheme)
+	u.Host = strings.ToLower(u.Host)
+	return strings.TrimRight(u.String(), "/"), nil
+}
+
+// NewRing builds the ring for a member list with vnodes virtual nodes per
+// member (0 means DefaultVirtualNodes). Members are normalized and
+// deduplicated, so any ordering or trailing-slash spelling of the same
+// list builds a bit-identical ring — the property the fleet's routing
+// correctness rests on.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if vnodes == 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if vnodes < 0 {
+		return nil, fmt.Errorf("fleet: negative virtual-node count %d", vnodes)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("fleet: empty member list")
+	}
+	seen := make(map[string]bool, len(members))
+	norm := make([]string, 0, len(members))
+	for _, m := range members {
+		n, err := NormalizeMember(m)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[n] {
+			seen[n] = true
+			norm = append(norm, n)
+		}
+	}
+	sort.Strings(norm)
+	r := &Ring{members: norm, points: make([]point, 0, len(norm)*vnodes)}
+	var buf [4]byte
+	for i, m := range norm {
+		h := sha256.New()
+		for v := 0; v < vnodes; v++ {
+			h.Reset()
+			h.Write([]byte(m))
+			h.Write([]byte{0})
+			binary.BigEndian.PutUint32(buf[:], uint32(v))
+			h.Write(buf[:])
+			sum := h.Sum(nil)
+			r.points = append(r.points, point{pos: binary.BigEndian.Uint64(sum[:8]), member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].pos != r.points[b].pos {
+			return r.points[a].pos < r.points[b].pos
+		}
+		// A 64-bit collision between members is astronomically unlikely but
+		// must still order deterministically.
+		return r.members[r.points[a].member] < r.members[r.points[b].member]
+	})
+	return r, nil
+}
+
+// Members returns the normalized member list in sorted order. The slice
+// is shared; callers must not mutate it.
+func (r *Ring) Members() []string { return r.members }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Contains reports whether the normalized form of m is a ring member.
+func (r *Ring) Contains(m string) bool {
+	n, err := NormalizeMember(m)
+	if err != nil {
+		return false
+	}
+	i := sort.SearchStrings(r.members, n)
+	return i < len(r.members) && r.members[i] == n
+}
+
+// keyPos maps a 32-byte content address onto the ring. The key is already
+// a SHA-256 output, so its leading bytes are uniform; no re-hash needed.
+func keyPos(key [32]byte) uint64 { return binary.BigEndian.Uint64(key[:8]) }
+
+// Owner returns the member that owns key: the member of the first virtual
+// node at or clockwise after the key's ring position.
+func (r *Ring) Owner(key [32]byte) string {
+	return r.members[r.points[r.search(keyPos(key))].member]
+}
+
+// Successors returns up to n distinct members in ring order starting at
+// the key's owner. The full list (n = Size()) is the key's failover
+// order: when the owner is dead, the next entry is the member a
+// rebuilt ring without the dead owner would assign the key to — which is
+// what "marking a dead peer out of the ring" means operationally.
+func (r *Ring) Successors(key [32]byte, n int) []string {
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	start := r.search(keyPos(key))
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// search returns the index of the first point at or clockwise after pos,
+// wrapping past the top of the ring.
+func (r *Ring) search(pos uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

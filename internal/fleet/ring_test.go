@@ -1,0 +1,165 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// testKey derives a deterministic pseudo-random content address.
+func testKey(i int) [32]byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return sha256.Sum256(b[:])
+}
+
+var ringMembers = []string{
+	"http://10.0.0.1:8080",
+	"http://10.0.0.2:8080",
+	"http://10.0.0.3:8080",
+	"http://10.0.0.4:8080",
+	"http://10.0.0.5:8080",
+}
+
+// TestRingOrderInvariance is the rebalance-determinism contract: the same
+// member list in any order (and any trailing-slash/case spelling) builds a
+// ring with identical owners for every key.
+func TestRingOrderInvariance(t *testing.T) {
+	base, err := NewRing(ringMembers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	permuted := []string{
+		"http://10.0.0.4:8080/",
+		"HTTP://10.0.0.2:8080",
+		"http://10.0.0.5:8080",
+		"http://10.0.0.1:8080//",
+		"http://10.0.0.3:8080",
+		"http://10.0.0.1:8080", // duplicate spelling must dedup, not re-weight
+	}
+	other, err := NewRing(permuted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Size() != other.Size() {
+		t.Fatalf("sizes differ: %d vs %d", base.Size(), other.Size())
+	}
+	for i := 0; i < 4096; i++ {
+		k := testKey(i)
+		if a, b := base.Owner(k), other.Owner(k); a != b {
+			t.Fatalf("key %d owner differs across orderings: %s vs %s", i, a, b)
+		}
+	}
+}
+
+// TestRingRemovalRemapsOnlyTheRemoved is the consistent-hashing property:
+// dropping one member moves only that member's keys; every other key
+// keeps its owner. This is what makes a dead peer's removal cheap — the
+// survivors' cached shards stay where they are.
+func TestRingRemovalRemapsOnlyTheRemoved(t *testing.T) {
+	full, err := NewRing(ringMembers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := ringMembers[2]
+	reduced, err := NewRing(append(append([]string{}, ringMembers[:2]...), ringMembers[3:]...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	droppedNorm, _ := NormalizeMember(dropped)
+	moved := 0
+	for i := 0; i < 4096; i++ {
+		k := testKey(i)
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == droppedNorm {
+			moved++
+			// The new owner must be the full ring's first successor past
+			// the dropped member — the failover order the fleet probes.
+			succ := full.Successors(k, 2)
+			if len(succ) < 2 || after != succ[1] {
+				t.Fatalf("key %d: dropped owner's key went to %s, want successor %v", i, after, succ)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %d owned by %s moved to %s though its owner survived", i, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the dropped member (implausible with 4096 keys)")
+	}
+}
+
+// TestRingBalance: with the default virtual-node count no member of a
+// five-node ring owns a wildly disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(ringMembers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(testKey(i))]++
+	}
+	want := float64(n) / float64(len(ringMembers))
+	for m, c := range counts {
+		if ratio := float64(c) / want; math.Abs(ratio-1) > 0.5 {
+			t.Errorf("member %s owns %d of %d keys (%.2fx fair share)", m, c, n, ratio)
+		}
+	}
+	if len(counts) != len(ringMembers) {
+		t.Errorf("only %d of %d members own keys", len(counts), len(ringMembers))
+	}
+}
+
+// TestRingSuccessorsDistinct: the failover order lists each member once,
+// starting with the owner.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r, err := NewRing(ringMembers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		k := testKey(i)
+		succ := r.Successors(k, 0)
+		if len(succ) != len(ringMembers) {
+			t.Fatalf("key %d: %d successors, want %d", i, len(succ), len(ringMembers))
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("key %d: successor order starts at %s, owner is %s", i, succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("key %d: member %s listed twice", i, m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestNormalizeMemberErrors(t *testing.T) {
+	for _, bad := range []string{"", "10.0.0.1:8080", "ftp://x", "http://"} {
+		if _, err := NormalizeMember(bad); err == nil {
+			t.Errorf("NormalizeMember(%q) accepted", bad)
+		}
+	}
+	got, err := NormalizeMember("HTTP://Host.Example:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "http://host.example:8080" {
+		t.Errorf("normalized to %q", got)
+	}
+}
+
+func TestNewRingRejectsEmpty(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing(ringMembers, -1); err == nil {
+		t.Error("negative vnode count accepted")
+	}
+}

@@ -26,6 +26,9 @@ type MetricsSnapshot struct {
 	Relaxations      int // RouteRelaxation events
 	CacheHits        int // CacheLookup events with Hit
 	CacheMisses      int // CacheLookup events without Hit
+	PeerHits         int // PeerLookup events with Hit
+	PeerMisses       int // PeerLookup events: healthy peer, not cached
+	PeerErrors       int // PeerLookup events with Err
 	RequestRecords   int // RequestTiming events (terminal serving-layer jobs)
 	StageTimes       map[Stage]time.Duration
 	CompileElapsed   time.Duration // total wall time of the last finished compile
@@ -35,6 +38,7 @@ type MetricsSnapshot struct {
 	LastPlaceStats   PlaceStats // stats of the last finished placement
 	LastRoute        RouteBatch
 	LastRouteStats   RouteStats    // stats of the last finished routing
+	LastPeer         PeerLookup    // the last fleet peer-cache probe
 	LastRequest      RequestTiming // timing record of the last terminal job
 	Err              error         // error of the last StageEnd/CompileEnd that carried one
 }
@@ -84,6 +88,16 @@ func (m *Metrics) Observe(e Event) {
 		} else {
 			m.snap.CacheMisses++
 		}
+	case PeerLookup:
+		switch {
+		case e.Err:
+			m.snap.PeerErrors++
+		case e.Hit:
+			m.snap.PeerHits++
+		default:
+			m.snap.PeerMisses++
+		}
+		m.snap.LastPeer = e
 	case RequestTiming:
 		m.snap.RequestRecords++
 		m.snap.LastRequest = e

@@ -183,6 +183,21 @@ type CacheLookup struct {
 	Disk bool // the hit was served by the on-disk layer
 }
 
+// PeerLookup records one fleet peer-cache probe of the serving layer: on a
+// local cache miss for a key whose consistent-hash owner is a remote peer,
+// the daemon asks that owner for the cached payload before admitting a
+// local compile. Hit means the peer served the bytes; Err means the probe
+// failed (timeout, refusal, bad response) after its retries — a healthy
+// peer answering "not cached" is a miss, not an error. Like CacheLookup,
+// it is a server-side event: a bare CLI compile never produces one.
+type PeerLookup struct {
+	Key     string // lowercase-hex content address probed
+	Peer    string // base URL of the peer probed (the key's effective owner)
+	Hit     bool
+	Err     bool
+	Elapsed time.Duration // wall time of the whole lookup, retries included
+}
+
 // RequestTiming is the serving layer's flat per-request latency record,
 // emitted once per job as it reaches a terminal state: where the request's
 // wall time went (admission wait, queue wait, compile run) and how it was
@@ -219,6 +234,7 @@ func (RouteBatch) event()      {}
 func (RouteRelaxation) event() {}
 func (RouteStats) event()      {}
 func (CacheLookup) event()     {}
+func (PeerLookup) event()      {}
 func (RequestTiming) event()   {}
 
 // Observer receives the flow's events. Implementations must not block for

@@ -76,6 +76,9 @@ func (s slogObserver) Observe(e Event) {
 			"finalCapacity", e.FinalCapacity)
 	case CacheLookup:
 		s.l.Info("cache lookup", "key", e.Key, "hit", e.Hit, "disk", e.Disk)
+	case PeerLookup:
+		s.l.Info("peer lookup",
+			"key", e.Key, "peer", e.Peer, "hit", e.Hit, "err", e.Err, "elapsed", e.Elapsed)
 	case RequestTiming:
 		// One flat line per terminal job: every field scalar, fixed key
 		// order, grep/CSV-friendly.

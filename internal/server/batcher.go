@@ -218,12 +218,14 @@ func (s *Server) registerJobLocked(r *admitReq, now time.Time) *job {
 }
 
 // cacheHitJob registers a terminal record for a submission answered by the
-// handler's cache probe, before admission.
-func (s *Server) cacheHitJob(spec *compileSpec, priority string, payload []byte, submitted time.Time) *job {
+// handler's cache probe (or, with peer set, by a fleet peer's cache),
+// before admission.
+func (s *Server) cacheHitJob(spec *compileSpec, priority string, payload []byte, submitted time.Time, peer string) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j := s.registerJobLocked(&admitReq{spec: spec, priority: priority, submitted: submitted}, time.Now())
 	j.cached = true
+	j.peer = peer
 	s.accepted.Add(1)
 	s.cacheHits.Add(1)
 	s.finishJobLocked(j, client.StateDone, payload, nil, nil)

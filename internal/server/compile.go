@@ -3,16 +3,13 @@ package server
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"strconv"
-	"strings"
 
 	"repro"
 	"repro/client"
 	"repro/internal/cache"
-	"repro/internal/graph"
 )
 
 // maxRequestNeurons bounds the size of a network a single request may ask
@@ -31,77 +28,17 @@ type compileSpec struct {
 	key     cache.Key
 }
 
-// buildSpec materializes a wire request: constructs the network, fills the
-// config, and derives the cache key. Every validation failure is a
-// client-side (HTTP 400) error.
+// buildSpec materializes a wire request under the service's size limit.
+// The materialization itself lives on client.CompileRequest.Spec so the
+// shard-aware Fleet client derives the exact same cache key the daemon
+// serves under. Every validation failure is a client-side (HTTP 400)
+// error.
 func buildSpec(req client.CompileRequest) (*compileSpec, error) {
-	sources := 0
-	for _, set := range []bool{req.Net != "", req.Random != nil, req.Testbench != 0} {
-		if set {
-			sources++
-		}
-	}
-	if sources != 1 {
-		return nil, fmt.Errorf("exactly one of net, random, testbench must be set (got %d)", sources)
-	}
-
-	seed := req.Seed
-	if seed == 0 {
-		seed = autoncs.DefaultConfig().Seed
-	}
-
-	var net *autoncs.Network
-	switch {
-	case req.Net != "":
-		n, err := graph.Read(strings.NewReader(req.Net))
-		if err != nil {
-			return nil, fmt.Errorf("parsing net: %v", err)
-		}
-		net = n
-	case req.Random != nil:
-		r := *req.Random
-		if r.N <= 0 || r.N > maxRequestNeurons {
-			return nil, fmt.Errorf("random.n %d out of range 1..%d", r.N, maxRequestNeurons)
-		}
-		if r.Sparsity < 0 || r.Sparsity > 1 {
-			return nil, fmt.Errorf("random.sparsity %g out of [0,1]", r.Sparsity)
-		}
-		net = autoncs.RandomSparseNetwork(r.N, r.Sparsity, r.Seed)
-	default:
-		tbs := autoncs.Testbenches()
-		if req.Testbench < 1 || req.Testbench > len(tbs) {
-			return nil, fmt.Errorf("testbench %d out of range 1..%d", req.Testbench, len(tbs))
-		}
-		net = autoncs.BuildTestbench(tbs[req.Testbench-1], seed)
-	}
-	if net.N() > maxRequestNeurons {
-		return nil, fmt.Errorf("network with %d neurons exceeds the %d-neuron service limit", net.N(), maxRequestNeurons)
-	}
-
-	cfg := autoncs.DefaultConfig()
-	cfg.Seed = seed
-	cfg.SelectionQuantile = req.SelectionQuantile
-	cfg.UtilizationThreshold = req.UtilizationThreshold
-	cfg.SkipPhysical = req.SkipPhysical
-	cfg.Multilevel = req.Multilevel
-	cfg.MultilevelCutoff = req.MultilevelCutoff
-	cfg.CoarsenRatio = req.CoarsenRatio
-	cfg.MultilevelLevels = req.MultilevelLevels
-	if req.LegacyRouter {
-		cfg.Route.Negotiate = false
-	}
-
-	base, err := autoncs.CanonicalHash(net, cfg)
+	sp, err := req.Spec(maxRequestNeurons)
 	if err != nil {
 		return nil, err
 	}
-	key := cache.Key(base)
-	if req.FullCro {
-		// The baseline flow computes a different result from the same
-		// inputs; derive a disjoint key domain for it.
-		key = sha256.Sum256(append([]byte("autoncs-fullcro/v1\n"), base[:]...))
-	}
-	return &compileSpec{net: net, cfg: cfg, fullCro: req.FullCro, key: key}, nil
+	return &compileSpec{net: sp.Net, cfg: sp.Config, fullCro: sp.FullCro, key: cache.Key(sp.Key)}, nil
 }
 
 // run executes the compile under ctx with the given worker-pool bound and
