@@ -504,12 +504,19 @@ func (res *Result) physicalDesign(ctx context.Context, cfg Config) error {
 
 // Redesign re-runs placement, routing, and cost evaluation on the result's
 // existing netlist — useful after modifying it (e.g. flattening wire
-// weights for an ablation). It requires a prior non-SkipPhysical compile,
-// and it refuses a cfg whose Device differs from the one the netlist was
-// built with: geometry and delay constants are baked into the netlist at
-// Build time, so evaluating it under another device silently produces
-// inconsistent area/delay reports.
+// weights for an ablation). It is RedesignCtx under context.Background().
 func (res *Result) Redesign(cfg Config) error {
+	return res.RedesignCtx(context.Background(), cfg)
+}
+
+// RedesignCtx re-runs placement, routing, and cost evaluation on the
+// result's existing netlist under a context, with the same cooperative
+// cancellation points as CompileCtx's physical stages. It requires a prior
+// non-SkipPhysical compile, and it refuses a cfg whose Device differs from
+// the one the netlist was built with: geometry and delay constants are
+// baked into the netlist at Build time, so evaluating it under another
+// device silently produces inconsistent area/delay reports.
+func (res *Result) RedesignCtx(ctx context.Context, cfg Config) error {
 	if res.Netlist == nil {
 		return fmt.Errorf("autoncs: Redesign requires an existing netlist")
 	}
@@ -520,7 +527,7 @@ func (res *Result) Redesign(cfg Config) error {
 	var pl *Placement
 	if err := res.runStage(ob, StagePlace, func() error {
 		var err error
-		if pl, err = place.Place(res.Netlist, placeOptions(cfg)); err != nil {
+		if pl, err = place.PlaceCtx(ctx, res.Netlist, placeOptions(cfg)); err != nil {
 			return fmt.Errorf("autoncs: placement: %w", err)
 		}
 		return nil
@@ -530,7 +537,7 @@ func (res *Result) Redesign(cfg Config) error {
 	var rt *Routing
 	if err := res.runStage(ob, StageRoute, func() error {
 		var err error
-		if rt, err = route.Route(res.Netlist, pl, routeOptions(cfg)); err != nil {
+		if rt, err = route.RouteCtx(ctx, res.Netlist, pl, routeOptions(cfg)); err != nil {
 			return fmt.Errorf("autoncs: routing: %w", err)
 		}
 		return nil

@@ -55,6 +55,18 @@ type CompileRequest struct {
 	// default negotiated-congestion engine (Config.Route.Negotiate=false).
 	LegacyRouter bool `json:"legacy_router,omitempty"`
 
+	// Base asks for an incremental delta recompile: the 64-char hex result
+	// key of a previous compile of a nearby network (the X-Autoncs-Key of
+	// its result). The daemon restores that compile's cached artifact and
+	// recompiles only the edit's impact region; if the edit ratio exceeds
+	// the daemon's cutoff it silently falls back to a full compile (visible
+	// as the response Key being the plain content address instead of the
+	// delta-domain one). The base compile must have run under the same
+	// config vector — a mismatch is a 409 with code "base_config_mismatch".
+	// The query parameter ?base= is an equivalent spelling. Cannot combine
+	// with FullCro.
+	Base string `json:"base,omitempty"`
+
 	// Priority is the scheduling class: PriorityInteractive jumps the
 	// queue ahead of PriorityBatch work. Empty defaults to interactive for
 	// waited submissions (?wait=1) and batch for fire-and-forget ones.
@@ -95,6 +107,11 @@ type JobStatus struct {
 	// Key is the content address of the compile (lowercase hex); two jobs
 	// with the same key are the same computation.
 	Key string `json:"key"`
+	// BaseKey is the result key of the base compile a delta recompile
+	// edited, set exactly when the job ran (or will run) as a delta. A
+	// ?base= submission that fell back to a full compile has no BaseKey —
+	// that is how a client detects the fallback.
+	BaseKey string `json:"base_key,omitempty"`
 	// Cached reports that the job was answered from the result cache
 	// without running the flow.
 	Cached bool `json:"cached"`
@@ -233,6 +250,43 @@ type Metrics struct {
 	// per terminal job); LastRequest is the most recent one.
 	RequestRecords int64          `json:"request_records"`
 	LastRequest    *RequestTiming `json:"last_request,omitempty"`
+
+	// DeltaCompiles counts compiles run as incremental deltas (?base=
+	// submissions under the edit-ratio cutoff); DeltaFallbacks counts
+	// ?base= submissions whose edit ratio exceeded the cutoff and were
+	// recompiled in full instead. LastDelta is the per-stage reuse
+	// breakdown of the most recent delta recompile.
+	DeltaCompiles  int64         `json:"delta_compiles,omitempty"`
+	DeltaFallbacks int64         `json:"delta_fallbacks,omitempty"`
+	LastDelta      *DeltaSummary `json:"last_delta,omitempty"`
+}
+
+// DeltaSummary mirrors obs.DeltaStats on the wire: how much of the base
+// compile one delta recompile reused, per stage. Every counter is
+// deterministic for any worker count.
+type DeltaSummary struct {
+	Edits          int     `json:"edits"`
+	AddedEdges     int     `json:"added_edges"`
+	RemovedEdges   int     `json:"removed_edges"`
+	TouchedNeurons int     `json:"touched_neurons"`
+	EditRatio      float64 `json:"edit_ratio"`
+
+	BaseCrossbars    int     `json:"base_crossbars"`
+	KeptCrossbars    int     `json:"kept_crossbars"`
+	DirtyCrossbars   int     `json:"dirty_crossbars"`
+	NewCrossbars     int     `json:"new_crossbars"`
+	ResidualConns    int     `json:"residual_conns"`
+	ClusterReuseFrac float64 `json:"cluster_reuse_frac"`
+
+	Cells          int     `json:"cells"`
+	SeededCells    int     `json:"seeded_cells"`
+	PlaceReuseFrac float64 `json:"place_reuse_frac"`
+
+	Wires          int     `json:"wires"`
+	ReusedWires    int     `json:"reused_wires"`
+	ReroutedWires  int     `json:"rerouted_wires"`
+	RouteReuseFrac float64 `json:"route_reuse_frac"`
+	FullRoute      bool    `json:"full_route,omitempty"`
 }
 
 // RequestTiming is one flat per-request latency record: where a job's wall
@@ -278,7 +332,29 @@ type Health struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// errorBody is the JSON envelope of every non-2xx response.
+// errorBody is the JSON envelope of every non-2xx response. Code is a
+// stable machine-readable discriminator, set on errors a client is
+// expected to branch on (see the Code* constants); Error is the
+// human-readable message.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
+
+// Stable error codes (errorBody.Code / APIError.Code). HTTP status codes
+// alone are ambiguous — a 409 may mean "job not done" or "incompatible
+// delta base" — so errors a client branches on carry one of these.
+const (
+	// CodeBaseArtifactMissing: the ?base= key has no cached artifact on the
+	// daemon (the base compile never ran here, or its artifact was
+	// evicted). Recover by recompiling the base in full. HTTP 404.
+	CodeBaseArtifactMissing = "base_artifact_missing"
+	// CodeBaseConfigMismatch: the base compile ran under a different config
+	// vector than the delta request, so its artifact cannot seed this
+	// compile. Re-submit with the base's configuration or recompile in
+	// full. HTTP 409.
+	CodeBaseConfigMismatch = "base_config_mismatch"
+	// CodeBaseSizeMismatch: the edited network's neuron count differs from
+	// the base compile's — resizing edits need a full compile. HTTP 409.
+	CodeBaseSizeMismatch = "base_size_mismatch"
+)

@@ -37,8 +37,11 @@ func NewWith(baseURL string, hc *http.Client) *Client {
 
 // APIError is a non-2xx response from the service.
 type APIError struct {
-	Status     int           // HTTP status code
-	Message    string        // the server's error field (or raw body)
+	Status  int    // HTTP status code
+	Message string // the server's error field (or raw body)
+	// Code is the stable machine-readable error discriminator (one of the
+	// Code* constants), empty on errors the status code fully describes.
+	Code       string
 	RetryAfter time.Duration // parsed Retry-After on 429/503, else 0
 	// Peer is the base URL of the daemon that produced this error, set by
 	// fleet routing (empty on a single-daemon Client). On a 429 it
@@ -256,6 +259,7 @@ func apiError(resp *http.Response, body []byte) error {
 	var eb errorBody
 	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
 		e.Message = eb.Error
+		e.Code = eb.Code
 	} else {
 		e.Message = strings.TrimSpace(string(body))
 	}

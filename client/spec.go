@@ -25,8 +25,15 @@ type Spec struct {
 	Config autoncs.Config
 	// FullCro selects the maximum-size-crossbar baseline flow.
 	FullCro bool
+	// Delta reports that the request asks for an incremental recompile
+	// against the compile whose result key is Base; Key is then the
+	// delta-domain address (DeltaKey), never the plain CanonicalHash.
+	Delta bool
+	// Base is the base compile's result key, meaningful when Delta is set.
+	Base [32]byte
 	// Key is the compile's content address (autoncs.CanonicalHash, pushed
-	// into the FullCro key domain when FullCro is set).
+	// into the FullCro key domain when FullCro is set and into the delta
+	// domain when Base is set).
 	Key [32]byte
 }
 
@@ -38,6 +45,36 @@ func (s *Spec) KeyHex() string { return hex.EncodeToString(s.Key[:]) }
 // baseline flow: same inputs, different computation, so the two results
 // must never share a cache entry.
 const fullCroKeyDomain = "autoncs-fullcro/v1\n"
+
+// deltaKeyDomain derives the key domain of delta recompiles. A delta's
+// result is a function of the base compile it edited AND the edited
+// request, and it is not bit-identical to a full compile of the same
+// network — so it must never be cached under the plain CanonicalHash.
+const deltaKeyDomain = "autoncs-delta/v1\n"
+
+// artifactKeyDomain derives the cache address a compile's resumable
+// artifact is stored under, from the compile's own result key. Artifacts
+// share the content-addressed store with result payloads, so they need a
+// domain of their own.
+const artifactKeyDomain = "autoncs-artifact/v1\n"
+
+// DeltaKey derives the content address of a delta recompile: the request's
+// plain key pushed into the delta domain together with the base compile's
+// result key. Shard-aware clients route delta submissions by this key, and
+// the daemon caches delta results under it, so the two can never disagree.
+func DeltaKey(base, key [32]byte) [32]byte {
+	buf := make([]byte, 0, len(deltaKeyDomain)+64)
+	buf = append(buf, deltaKeyDomain...)
+	buf = append(buf, base[:]...)
+	buf = append(buf, key[:]...)
+	return sha256.Sum256(buf)
+}
+
+// ArtifactKey derives the cache address of the resumable artifact of the
+// compile with the given result key.
+func ArtifactKey(key [32]byte) [32]byte {
+	return sha256.Sum256(append([]byte(artifactKeyDomain), key[:]...))
+}
 
 // Spec materializes the request. maxNeurons bounds the network size a
 // caller is willing to build (the daemon passes its service limit); 0
@@ -110,7 +147,20 @@ func (r CompileRequest) Spec(maxNeurons int) (*Spec, error) {
 	if r.FullCro {
 		key = sha256.Sum256(append([]byte(fullCroKeyDomain), key[:]...))
 	}
-	return &Spec{Net: net, Config: cfg, FullCro: r.FullCro, Key: key}, nil
+	sp := &Spec{Net: net, Config: cfg, FullCro: r.FullCro, Key: key}
+	if r.Base != "" {
+		if r.FullCro {
+			return nil, fmt.Errorf("base cannot combine with full_cro (the baseline flow has no incremental form)")
+		}
+		raw, err := hex.DecodeString(r.Base)
+		if err != nil || len(raw) != 32 || r.Base != strings.ToLower(r.Base) {
+			return nil, fmt.Errorf("base %q is not a 64-char lowercase-hex result key", r.Base)
+		}
+		sp.Delta = true
+		copy(sp.Base[:], raw)
+		sp.Key = DeltaKey(sp.Base, key)
+	}
+	return sp, nil
 }
 
 // Key derives the request's content address without keeping the

@@ -50,6 +50,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
 		server   = flag.String("server", "", "compile on this autoncsd instance (e.g. http://127.0.0.1:8080) instead of in process")
 		priority = flag.String("priority", "", "with -server: job priority, interactive or batch (empty = server default)")
+		baseKey  = flag.String("base", "", "with -server: recompile incrementally against this previous result key (the cache key a prior run printed)")
 		verbose  = flag.Bool("v", false, "log stage boundaries and ISC iterations to stderr")
 		trace    = flag.Bool("trace", false, "log every flow event to stderr, including per-checkpoint placement progress and route batches (implies -v)")
 	)
@@ -98,6 +99,10 @@ func main() {
 	}
 
 	if *server != "" {
+		if *baseKey != "" && *baseline {
+			fmt.Fprintln(os.Stderr, "-base cannot combine with -baseline (the FullCro flow has no incremental form)")
+			os.Exit(2)
+		}
 		req := client.CompileRequest{
 			Seed:              *seed,
 			SelectionQuantile: *quantile,
@@ -106,9 +111,14 @@ func main() {
 			MultilevelCutoff:  *mlCutoff,
 			LegacyRouter:      *legacyRt,
 			Priority:          *priority,
+			Base:              *baseKey,
 		}
 		runRemote(ctx, *server, net, req, *baseline, *dumpPath)
 		return
+	}
+	if *baseKey != "" {
+		fmt.Fprintln(os.Stderr, "-base requires -server (incremental recompiles are served from the daemon's artifact cache)")
+		os.Exit(2)
 	}
 
 	cfg := autoncs.DefaultConfig()
@@ -298,6 +308,9 @@ func printRemoteResult(name string, st *client.JobStatus, res *client.Result) {
 		fmt.Fprintf(w, "server compile time\t%.2fs\n", st.ElapsedSeconds)
 	}
 	fmt.Fprintf(w, "cache key\t%s\n", st.Key)
+	if st.BaseKey != "" {
+		fmt.Fprintf(w, "delta base\t%s\n", st.BaseKey)
+	}
 	fmt.Fprintf(w, "crossbars\t%d\n", res.Crossbars)
 	fmt.Fprintf(w, "discrete synapses\t%d\n", res.Synapses)
 	fmt.Fprintf(w, "outlier ratio\t%.2f%%\n", 100*res.OutlierRatio)

@@ -19,6 +19,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -29,6 +30,7 @@ import (
 	"testing"
 	"time"
 
+	"repro"
 	"repro/client"
 )
 
@@ -255,6 +257,129 @@ func TestDaemonE2E(t *testing.T) {
 	}
 	if err := cmd.Wait(); err != nil {
 		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
+}
+
+// TestDaemonDeltaE2E drives the incremental-recompile protocol against a
+// real daemon: a full compile leaves an artifact, an edited resubmission
+// with ?base=<key> (the query-parameter spelling) runs as a delta whose
+// X-Autoncs-Key lineage is bit-stable — the identical delta resubmitted
+// through the client's Base field hits the cache under the same key with
+// byte-identical payload — and a config-vector mismatch is the typed 409.
+func TestDaemonDeltaE2E(t *testing.T) {
+	c, baseURL, _ := startDaemon(t, "-slots", "1")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	base, err := c.CompileWait(ctx, client.CompileRequest{Random: &client.RandomSpec{N: 240, Sparsity: 0.95, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.State != client.StateDone {
+		t.Fatalf("base compile: %+v", base)
+	}
+
+	// The same network the daemon built, with a small localized edit: two
+	// connections removed in one window, two added in a disjoint one.
+	edited := autoncs.RandomSparseNetwork(240, 0.95, 3).Clone()
+	removed, added := 0, 0
+	for i := 10; i < 40 && removed < 2; i++ {
+		for j := 10; j < 40; j++ {
+			if i != j && edited.Has(i, j) {
+				edited.Clear(i, j)
+				removed++
+				break
+			}
+		}
+	}
+	for i := 60; i < 90 && added < 2; i++ {
+		for j := 60; j < 90; j++ {
+			if i != j && !edited.Has(i, j) {
+				edited.Set(i, j)
+				added++
+				break
+			}
+		}
+	}
+	if removed != 2 || added != 2 {
+		t.Fatalf("edit construction removed %d added %d, want 2/2", removed, added)
+	}
+	var netText strings.Builder
+	if err := edited.Write(&netText); err != nil {
+		t.Fatal(err)
+	}
+
+	// First delta through the raw query-parameter spelling.
+	body, err := json.Marshal(client.CompileRequest{Net: netText.String(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/compile?wait=1&base="+base.Key, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delta client.JobStatus
+	derr := json.NewDecoder(resp.Body).Decode(&delta)
+	resp.Body.Close()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if resp.StatusCode != http.StatusOK || delta.State != client.StateDone {
+		t.Fatalf("delta compile: status %d %+v", resp.StatusCode, delta)
+	}
+	if delta.BaseKey != base.Key {
+		t.Fatalf("delta base_key %q, want %q", delta.BaseKey, base.Key)
+	}
+	if delta.Key == base.Key {
+		t.Fatal("delta result key equals the base key")
+	}
+
+	// X-Autoncs-Key lineage: the result serves under the delta key, and the
+	// identical resubmission (client Base field this time) is a cache hit
+	// with byte-identical payload under the same key.
+	resp, err = http.Get(baseURL + delta.ResultURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaBytes, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Autoncs-Key"); got != delta.Key {
+		t.Fatalf("X-Autoncs-Key %q, want delta key %q", got, delta.Key)
+	}
+	again, err := c.CompileWait(ctx, client.CompileRequest{Net: netText.String(), Seed: 1, Base: base.Key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Key != delta.Key || again.BaseKey != base.Key {
+		t.Fatalf("delta resubmission: cached %v key %s base %s", again.Cached, again.Key, again.BaseKey)
+	}
+	againBytes, err := c.ResultBytes(ctx, again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(deltaBytes, againBytes) {
+		t.Fatal("delta lineage not bit-stable: cached payload differs")
+	}
+
+	// Typed 409: a delta request under a different config vector.
+	_, err = c.CompileWait(ctx, client.CompileRequest{Net: netText.String(), Seed: 2, Base: base.Key})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict || apiErr.Code != client.CodeBaseConfigMismatch {
+		t.Fatalf("config mismatch: want 409 %s, got %v", client.CodeBaseConfigMismatch, err)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeltaCompiles != 1 || m.LastDelta == nil {
+		t.Fatalf("delta metrics: compiles %d last %v", m.DeltaCompiles, m.LastDelta)
+	}
+	if m.LastDelta.ClusterReuseFrac == 0 || m.LastDelta.RouteReuseFrac == 0 {
+		t.Errorf("delta reused nothing: %+v", m.LastDelta)
 	}
 }
 

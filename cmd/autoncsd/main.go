@@ -57,6 +57,7 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated fleet membership base URLs (self is added if absent; requires -self)")
 		peerTimeout  = flag.Duration("peer-timeout", 0, "per-attempt peer cache probe timeout (0 = 2s)")
 		peerRecovery = flag.Duration("peer-recovery", 0, "how long a dead peer stays out of the ring before a re-probe (0 = 5s)")
+		deltaRatio   = flag.Float64("delta-max-ratio", 0, "edit-ratio cutoff for ?base= delta recompiles (0 = 0.1, negative disables delta serving)")
 		verbose      = flag.Bool("v", false, "debug-level request and job logging")
 	)
 	flag.Parse()
@@ -91,6 +92,7 @@ func main() {
 		CompileWorkers:       *workers,
 		AdmitBatch:           *batchSize,
 		AdmitWindow:          *batchWindow,
+		DeltaMaxEditRatio:    *deltaRatio,
 		Cache:                store,
 		Log:                  log,
 		Self:                 *self,

@@ -34,7 +34,7 @@ import (
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "run scaled-down versions of every experiment")
-		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1, place, route, compile, cluster, reliability, fidelity, compile2000, compile10k")
+		only    = flag.String("only", "", "run a single experiment: fig3, fig4, fig56, fig7, fig8, fig9, fig10, table1, place, route, compile, cluster, reliability, fidelity, compile2000, compile10k, delta")
 		seed    = flag.Int64("seed", 1, "random seed")
 		workers = flag.Int("workers", 0, "worker pool size for the parallel kernels (0 = NumCPU; results are identical for any value)")
 		large   = flag.Bool("large", false, "also run compile2000, the 2000-neuron cluster-only compile (minutes of CPU time)")
@@ -131,6 +131,9 @@ func main() {
 	}
 	if *large || *quick || *only == "compile10k" {
 		run("compile10k", func() error { return compile10k(ctx, *quick, *seed, *workers, observer, rec) })
+	}
+	if *large || *quick || *only == "delta" {
+		run("delta", func() error { return deltaStage(ctx, *quick, *seed, *workers, observer, rec) })
 	}
 
 	rec.setBaseline(*baselineStage, *baselineRef, *baselineWall, *baselineAllocs)

@@ -58,7 +58,45 @@ func CanonicalHash(net *Network, cfg Config) ([32]byte, error) {
 	h := sha256.New()
 	io.WriteString(h, "autoncs-cache-key/v3\n")
 	h.Write(net.AppendBinary(nil))
-	e := hashEncoder{w: h}
+	writeConfigVector(h, cfg)
+	h.Sum(key[:0])
+	return key, nil
+}
+
+// ConfigVectorHash returns the SHA-256 digest of the configuration portion
+// of the canonical cache key alone — the exact byte stream CanonicalHash
+// feeds after the network, under its own domain tag. Two configs share a
+// vector hash exactly when CanonicalHash would agree for every network, so
+// the digest answers "same flow, different network?" — the compatibility
+// check of the delta-recompile path: a cached compile artifact may seed a
+// delta compile only when the new request's config vector matches the one
+// the artifact was built under.
+//
+// The hash is a pure encoding with the same normalizations as CanonicalHash
+// and no validation; hash configs that have passed (or will pass) compile
+// validation.
+func ConfigVectorHash(cfg Config) [32]byte {
+	var key [32]byte
+	h := sha256.New()
+	io.WriteString(h, "autoncs-config-vector/v1\n")
+	writeConfigVector(h, cfg)
+	h.Sum(key[:0])
+	return key
+}
+
+// ConfigVectorHashHex is ConfigVectorHash rendered as lowercase hex — the
+// form stored inside compile artifacts.
+func ConfigVectorHashHex(cfg Config) string {
+	key := ConfigVectorHash(cfg)
+	return hex.EncodeToString(key[:])
+}
+
+// writeConfigVector streams the normalized config fields into w in the
+// canonical v3 field order. CanonicalHash and ConfigVectorHash share this
+// encoding, so the two stay in lockstep by construction; changing anything
+// here changes the cache-key domain and requires a version-tag bump in both.
+func writeConfigVector(w io.Writer, cfg Config) {
+	e := hashEncoder{w: w}
 
 	sizes := cfg.Library.Sizes()
 	e.uint(uint64(len(sizes)))
@@ -155,9 +193,6 @@ func CanonicalHash(net *Network, cfg Config) ([32]byte, error) {
 	} else {
 		e.uint(0)
 	}
-
-	h.Sum(key[:0])
-	return key, nil
 }
 
 // CanonicalHashHex is CanonicalHash rendered as lowercase hex — the form

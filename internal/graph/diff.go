@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// EditSet is the typed structural difference between two connection matrices
+// of the same size: the connections present only in the edited matrix
+// (Added) and those present only in the base (Removed), each in row-major
+// order. Conn is binary, so there is no reweighted class — a weight change
+// does not exist in this representation.
+type EditSet struct {
+	// N is the neuron count of both matrices.
+	N int
+	// Added lists the connections in edited but not base, row-major.
+	Added []Edge
+	// Removed lists the connections in base but not edited, row-major.
+	Removed []Edge
+}
+
+// Edits returns the total number of edited connections.
+func (es *EditSet) Edits() int { return len(es.Added) + len(es.Removed) }
+
+// Empty reports whether the two matrices were identical.
+func (es *EditSet) Empty() bool { return es.Edits() == 0 }
+
+// Ratio returns the edit count relative to the base connection count — the
+// size measure the daemon's delta-vs-full cutoff is expressed in. A base
+// with no connections and a non-empty edit set reports ratio 1.
+func (es *EditSet) Ratio(baseNNZ int) float64 {
+	if es.Empty() {
+		return 0
+	}
+	if baseNNZ <= 0 {
+		return 1
+	}
+	return float64(es.Edits()) / float64(baseNNZ)
+}
+
+// TouchedNeurons returns the ascending neuron indices incident to any added
+// or removed connection — the seed of the delta compiler's impact region.
+func (es *EditSet) TouchedNeurons() []int {
+	touched := make([]bool, es.N)
+	for _, set := range [][]Edge{es.Added, es.Removed} {
+		for _, e := range set {
+			touched[e.From] = true
+			touched[e.To] = true
+		}
+	}
+	out := []int{}
+	for i, t := range touched {
+		if t {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DiffConn computes the edit set transforming base into edited by XOR-ing
+// the two bitset matrices word by word — O(n·words) regardless of how many
+// connections the matrices share. Both matrices must have the same neuron
+// count.
+func DiffConn(base, edited *Conn) (*EditSet, error) {
+	if base.n != edited.n {
+		return nil, fmt.Errorf("graph: diff of %d-neuron base against %d-neuron edit", base.n, edited.n)
+	}
+	es := &EditSet{N: base.n}
+	for i := 0; i < base.n; i++ {
+		brow := base.bits[i*base.words : (i+1)*base.words]
+		erow := edited.bits[i*edited.words : (i+1)*edited.words]
+		for wi := range brow {
+			x := brow[wi] ^ erow[wi]
+			if x == 0 {
+				continue
+			}
+			baseCol := wi * wordBits
+			for add := x & erow[wi]; add != 0; add &= add - 1 {
+				es.Added = append(es.Added, Edge{From: i, To: baseCol + bits.TrailingZeros64(add)})
+			}
+			for rem := x & brow[wi]; rem != 0; rem &= rem - 1 {
+				es.Removed = append(es.Removed, Edge{From: i, To: baseCol + bits.TrailingZeros64(rem)})
+			}
+		}
+	}
+	return es, nil
+}
+
+// Apply returns a copy of base with the edit set applied. It fails if the
+// edit set does not fit the base: a removed connection that is absent or an
+// added connection already present means the set was diffed against a
+// different matrix.
+func (es *EditSet) Apply(base *Conn) (*Conn, error) {
+	if base.n != es.N {
+		return nil, fmt.Errorf("graph: applying %d-neuron edit set to %d-neuron base", es.N, base.n)
+	}
+	out := base.Clone()
+	for _, e := range es.Removed {
+		if !out.Has(e.From, e.To) {
+			return nil, fmt.Errorf("graph: edit set removes absent connection %d→%d", e.From, e.To)
+		}
+		out.Clear(e.From, e.To)
+	}
+	for _, e := range es.Added {
+		if out.Has(e.From, e.To) {
+			return nil, fmt.Errorf("graph: edit set adds existing connection %d→%d", e.From, e.To)
+		}
+		out.Set(e.From, e.To)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDiffConnBasic(t *testing.T) {
+	base := NewConn(6)
+	base.Set(0, 1)
+	base.Set(1, 0)
+	base.Set(2, 3)
+	base.Set(4, 5)
+
+	edited := base.Clone()
+	edited.Clear(2, 3)
+	edited.Set(3, 4)
+	edited.Set(5, 5)
+
+	es, err := DiffConn(base, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAdded := []Edge{{3, 4}, {5, 5}}
+	wantRemoved := []Edge{{2, 3}}
+	if len(es.Added) != len(wantAdded) {
+		t.Fatalf("added = %v, want %v", es.Added, wantAdded)
+	}
+	for i, e := range wantAdded {
+		if es.Added[i] != e {
+			t.Fatalf("added = %v, want %v", es.Added, wantAdded)
+		}
+	}
+	if len(es.Removed) != 1 || es.Removed[0] != wantRemoved[0] {
+		t.Fatalf("removed = %v, want %v", es.Removed, wantRemoved)
+	}
+	if es.Edits() != 3 || es.Empty() {
+		t.Fatalf("edits = %d, empty = %v", es.Edits(), es.Empty())
+	}
+	wantTouched := []int{2, 3, 4, 5}
+	got := es.TouchedNeurons()
+	if len(got) != len(wantTouched) {
+		t.Fatalf("touched = %v, want %v", got, wantTouched)
+	}
+	for i, n := range wantTouched {
+		if got[i] != n {
+			t.Fatalf("touched = %v, want %v", got, wantTouched)
+		}
+	}
+
+	applied, err := es.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied.Equal(edited) {
+		t.Fatal("apply(base, diff) != edited")
+	}
+}
+
+func TestDiffConnIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := RandomSparse(80, 0.9, rng)
+	es, err := DiffConn(c, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !es.Empty() {
+		t.Fatalf("self-diff has %d edits", es.Edits())
+	}
+	if es.Ratio(c.NNZ()) != 0 {
+		t.Fatalf("self-diff ratio = %g", es.Ratio(c.NNZ()))
+	}
+	if len(es.TouchedNeurons()) != 0 {
+		t.Fatalf("self-diff touches %v", es.TouchedNeurons())
+	}
+	applied, err := es.Apply(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !applied.Equal(c) {
+		t.Fatal("empty edit set changed the network")
+	}
+}
+
+func TestDiffConnSizeMismatch(t *testing.T) {
+	if _, err := DiffConn(NewConn(4), NewConn(5)); err == nil {
+		t.Fatal("size-mismatched diff accepted")
+	}
+	es := &EditSet{N: 4, Added: []Edge{{0, 1}}}
+	if _, err := es.Apply(NewConn(5)); err == nil {
+		t.Fatal("size-mismatched apply accepted")
+	}
+}
+
+func TestEditSetApplyRejectsForeignBase(t *testing.T) {
+	base := NewConn(4)
+	base.Set(0, 1)
+	edited := base.Clone()
+	edited.Set(1, 2)
+	edited.Clear(0, 1)
+	es, err := DiffConn(base, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A base that already lost the removed edge.
+	other := NewConn(4)
+	if _, err := es.Apply(other); err == nil {
+		t.Fatal("apply accepted a base missing a removed connection")
+	}
+	// A base that already holds the added edge.
+	other2 := base.Clone()
+	other2.Set(1, 2)
+	if _, err := es.Apply(other2); err == nil {
+		t.Fatal("apply accepted a base already holding an added connection")
+	}
+}
+
+func TestDiffConnRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 16 + rng.Intn(120)
+		base := RandomSparse(n, 0.8+0.19*rng.Float64(), rng)
+		edited := base.Clone()
+		edits := 1 + rng.Intn(30)
+		for k := 0; k < edits; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if edited.Has(i, j) {
+				edited.Clear(i, j)
+			} else {
+				edited.Set(i, j)
+			}
+		}
+		es, err := DiffConn(base, edited)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied, err := es.Apply(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !applied.Equal(edited) {
+			t.Fatalf("trial %d: apply(base, diff) != edited", trial)
+		}
+		// Row-major ordering of both classes.
+		for _, set := range [][]Edge{es.Added, es.Removed} {
+			for i := 1; i < len(set); i++ {
+				a, b := set[i-1], set[i]
+				if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+					t.Fatalf("trial %d: edit set out of row-major order: %v then %v", trial, a, b)
+				}
+			}
+		}
+	}
+}
+
+// FuzzDiffConn derives base and edited matrices from arbitrary bytes and
+// checks the differ's core contract: diff then apply reproduces the edited
+// matrix exactly, the reverse diff mirrors the classes, and the edit count
+// matches the bitwise distance.
+func FuzzDiffConn(f *testing.F) {
+	f.Add(uint8(8), []byte{0x01, 0x23}, []byte{0x45})
+	f.Add(uint8(1), []byte{}, []byte{0xff})
+	f.Add(uint8(65), []byte{0xaa, 0xbb, 0xcc}, []byte{0xdd, 0xee})
+	f.Fuzz(func(t *testing.T, nRaw uint8, baseSeed, editSeed []byte) {
+		n := int(nRaw)%96 + 1
+		base := NewConn(n)
+		for k, b := range baseSeed {
+			if len(baseSeed) > 512 {
+				break
+			}
+			i := (k*7 + int(b)) % n
+			j := (k*13 + int(b)*3) % n
+			base.Set(i, j)
+		}
+		edited := base.Clone()
+		for k, b := range editSeed {
+			if len(editSeed) > 512 {
+				break
+			}
+			i := (k*11 + int(b)*5) % n
+			j := (k*3 + int(b)) % n
+			if edited.Has(i, j) {
+				edited.Clear(i, j)
+			} else {
+				edited.Set(i, j)
+			}
+		}
+		es, err := DiffConn(base, edited)
+		if err != nil {
+			t.Fatalf("diff failed: %v", err)
+		}
+		applied, err := es.Apply(base)
+		if err != nil {
+			t.Fatalf("apply failed: %v", err)
+		}
+		if !applied.Equal(edited) {
+			t.Fatal("diff+apply did not round-trip")
+		}
+		rev, err := DiffConn(edited, base)
+		if err != nil {
+			t.Fatalf("reverse diff failed: %v", err)
+		}
+		if len(rev.Added) != len(es.Removed) || len(rev.Removed) != len(es.Added) {
+			t.Fatalf("reverse diff not mirrored: %d/%d vs %d/%d",
+				len(rev.Added), len(rev.Removed), len(es.Added), len(es.Removed))
+		}
+		back, err := rev.Apply(edited)
+		if err != nil {
+			t.Fatalf("reverse apply failed: %v", err)
+		}
+		if !back.Equal(base) {
+			t.Fatal("reverse diff+apply did not restore the base")
+		}
+	})
+}

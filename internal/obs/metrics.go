@@ -30,6 +30,7 @@ type MetricsSnapshot struct {
 	PeerMisses       int // PeerLookup events: healthy peer, not cached
 	PeerErrors       int // PeerLookup events with Err
 	RequestRecords   int // RequestTiming events (terminal serving-layer jobs)
+	DeltaCompiles    int // DeltaStats events (finished delta recompiles)
 	StageTimes       map[Stage]time.Duration
 	CompileElapsed   time.Duration // total wall time of the last finished compile
 	LastISC          ISCIteration
@@ -40,6 +41,7 @@ type MetricsSnapshot struct {
 	LastRouteStats   RouteStats    // stats of the last finished routing
 	LastPeer         PeerLookup    // the last fleet peer-cache probe
 	LastRequest      RequestTiming // timing record of the last terminal job
+	LastDelta        DeltaStats    // stats of the last finished delta recompile
 	Err              error         // error of the last StageEnd/CompileEnd that carried one
 }
 
@@ -101,6 +103,9 @@ func (m *Metrics) Observe(e Event) {
 	case RequestTiming:
 		m.snap.RequestRecords++
 		m.snap.LastRequest = e
+	case DeltaStats:
+		m.snap.DeltaCompiles++
+		m.snap.LastDelta = e
 	}
 }
 

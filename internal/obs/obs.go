@@ -222,6 +222,39 @@ type RequestTiming struct {
 	Total     time.Duration // submit → terminal state
 }
 
+// DeltaStats summarizes one delta recompile: the structural edit that
+// triggered it, how much of the previous compile each stage reused, and how
+// much had to be redone. Emitted once per CompileDelta, after the flow
+// finishes. Every counter is deterministic for any worker count.
+type DeltaStats struct {
+	// Edit set, against the base network.
+	Edits          int     // added + removed connections
+	AddedEdges     int     // connections present only in the edited network
+	RemovedEdges   int     // connections present only in the base network
+	TouchedNeurons int     // neurons incident to any edit
+	EditRatio      float64 // edits / base connections
+
+	// Clustering reuse.
+	BaseCrossbars    int     // crossbars in the previous assignment
+	KeptCrossbars    int     // crossbars carried over untouched
+	DirtyCrossbars   int     // crossbars dissolved into the residual
+	NewCrossbars     int     // crossbars the residual re-clustering produced
+	ResidualConns    int     // connections re-clustered (residual network)
+	ClusterReuseFrac float64 // kept / base crossbars (0 with no base crossbars)
+
+	// Placement reuse.
+	Cells          int     // cells of the new netlist
+	SeededCells    int     // cells warm-started at their previous coordinates
+	PlaceReuseFrac float64 // seeded / cells (0 with no cells)
+
+	// Routing reuse.
+	Wires          int     // wires of the new netlist
+	ReusedWires    int     // wires that kept their previous path through round 1
+	ReroutedWires  int     // wires routed fresh (dirty, ripped, or fallback)
+	RouteReuseFrac float64 // reused / wires (0 with no wires)
+	FullRoute      bool    // the route degraded to a from-scratch run
+}
+
 func (CompileStart) event()    {}
 func (CompileEnd) event()      {}
 func (StageStart) event()      {}
@@ -236,6 +269,7 @@ func (RouteStats) event()      {}
 func (CacheLookup) event()     {}
 func (PeerLookup) event()      {}
 func (RequestTiming) event()   {}
+func (DeltaStats) event()      {}
 
 // Observer receives the flow's events. Implementations must not block for
 // long (they run on the flow's control goroutine) and must not assume any

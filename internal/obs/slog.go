@@ -79,6 +79,16 @@ func (s slogObserver) Observe(e Event) {
 	case PeerLookup:
 		s.l.Info("peer lookup",
 			"key", e.Key, "peer", e.Peer, "hit", e.Hit, "err", e.Err, "elapsed", e.Elapsed)
+	case DeltaStats:
+		s.l.Info("delta stats",
+			"edits", e.Edits, "added", e.AddedEdges, "removed", e.RemovedEdges,
+			"touched", e.TouchedNeurons, "editRatio", e.EditRatio,
+			"baseCrossbars", e.BaseCrossbars, "kept", e.KeptCrossbars,
+			"dirty", e.DirtyCrossbars, "new", e.NewCrossbars,
+			"residualConns", e.ResidualConns, "clusterReuse", e.ClusterReuseFrac,
+			"seededCells", e.SeededCells, "placeReuse", e.PlaceReuseFrac,
+			"reusedWires", e.ReusedWires, "reroutedWires", e.ReroutedWires,
+			"routeReuse", e.RouteReuseFrac, "fullRoute", e.FullRoute)
 	case RequestTiming:
 		// One flat line per terminal job: every field scalar, fixed key
 		// order, grep/CSV-friendly.

@@ -1,0 +1,153 @@
+package place
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// chainNetlist builds n unit cells wired in a chain.
+func deltaChainNetlist(n int) *netlist.Netlist {
+	nl := &netlist.Netlist{}
+	for i := 0; i < n; i++ {
+		nl.Cells = append(nl.Cells, netlist.Cell{ID: i, Kind: netlist.KindNeuron, W: 1, H: 1})
+	}
+	for i := 1; i < n; i++ {
+		nl.Wires = append(nl.Wires, netlist.Wire{ID: i - 1, From: i - 1, To: i, Weight: 1})
+	}
+	return nl
+}
+
+func warmFromResult(r *Result, seeded []bool) *Warm {
+	return &Warm{
+		X: r.X, Y: r.Y, Seeded: seeded,
+		MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY,
+	}
+}
+
+// TestPlaceDeltaAllSeeded freezes every cell: the delta placement must be
+// the previous placement, bit for bit, including the bounding box.
+func TestPlaceDeltaAllSeeded(t *testing.T) {
+	nl := deltaChainNetlist(30)
+	full, err := Place(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := make([]bool, len(nl.Cells))
+	for i := range seeded {
+		seeded[i] = true
+	}
+	res, err := PlaceDeltaCtx(context.Background(), nl, DefaultOptions(), warmFromResult(full, seeded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.X {
+		if res.X[i] != full.X[i] || res.Y[i] != full.Y[i] {
+			t.Fatalf("cell %d moved: (%g,%g) vs (%g,%g)", i, res.X[i], res.Y[i], full.X[i], full.Y[i])
+		}
+	}
+	if res.MinX != full.MinX || res.MinY != full.MinY || res.MaxX != full.MaxX || res.MaxY != full.MaxY {
+		t.Fatalf("bbox changed: %+v vs %+v", res, full)
+	}
+	if math.Abs(res.HPWL-full.HPWL) > 1e-9 {
+		t.Fatalf("HPWL changed: %g vs %g", res.HPWL, full.HPWL)
+	}
+}
+
+// TestPlaceDeltaInsertsUnseeded seeds most cells and checks the new ones
+// land overlap-free while the seeded ones never move.
+func TestPlaceDeltaInsertsUnseeded(t *testing.T) {
+	nl := deltaChainNetlist(40)
+	full, err := Place(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := make([]bool, len(nl.Cells))
+	for i := range seeded {
+		seeded[i] = i%5 != 0 // every fifth cell is new
+	}
+	res, err := PlaceDeltaCtx(context.Background(), nl, DefaultOptions(), warmFromResult(full, seeded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeded {
+		if s && (res.X[i] != full.X[i] || res.Y[i] != full.Y[i]) {
+			t.Fatalf("seeded cell %d moved", i)
+		}
+	}
+	if ov := TotalOverlap(nl, res); ov > 1e-6 {
+		t.Fatalf("delta placement left %g overlap", ov)
+	}
+	// The box never shrinks below the previous one.
+	if res.MinX > full.MinX || res.MinY > full.MinY || res.MaxX < full.MaxX || res.MaxY < full.MaxY {
+		t.Fatalf("bbox shrank: delta %+v, full %+v",
+			[4]float64{res.MinX, res.MinY, res.MaxX, res.MaxY},
+			[4]float64{full.MinX, full.MinY, full.MaxX, full.MaxY})
+	}
+}
+
+// TestPlaceDeltaDeterministic: two runs of the same delta are bit-identical,
+// for any worker count.
+func TestPlaceDeltaDeterministic(t *testing.T) {
+	nl := deltaChainNetlist(35)
+	full, err := Place(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := make([]bool, len(nl.Cells))
+	for i := range seeded {
+		seeded[i] = i < 28
+	}
+	warm := warmFromResult(full, seeded)
+	var ref *Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		res, err := PlaceDeltaCtx(context.Background(), nl, opts, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		for i := range ref.X {
+			if res.X[i] != ref.X[i] || res.Y[i] != ref.Y[i] {
+				t.Fatalf("workers=%d cell %d diverged", workers, i)
+			}
+		}
+		if res.HPWL != ref.HPWL {
+			t.Fatalf("workers=%d HPWL %g, want %g", workers, res.HPWL, ref.HPWL)
+		}
+	}
+}
+
+// TestPlaceDeltaNoWarmFallsBack: nil warm or an all-unseeded warm set must
+// behave exactly like a full placement.
+func TestPlaceDeltaNoWarmFallsBack(t *testing.T) {
+	nl := deltaChainNetlist(20)
+	full, err := Place(nl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PlaceDeltaCtx(context.Background(), nl, DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL != full.HPWL {
+		t.Fatalf("nil-warm delta HPWL %g, full %g", res.HPWL, full.HPWL)
+	}
+	none := &Warm{
+		X: make([]float64, len(nl.Cells)), Y: make([]float64, len(nl.Cells)),
+		Seeded: make([]bool, len(nl.Cells)),
+	}
+	res2, err := PlaceDeltaCtx(context.Background(), nl, DefaultOptions(), none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.HPWL != full.HPWL {
+		t.Fatalf("unseeded-warm delta HPWL %g, full %g", res2.HPWL, full.HPWL)
+	}
+}

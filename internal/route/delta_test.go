@@ -1,0 +1,189 @@
+package route
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRouteDeltaAllWarm commits a full route's paths as the warm set: the
+// delta route must reuse every wire and reproduce the from-scratch result
+// bit for bit.
+func TestRouteDeltaAllWarm(t *testing.T) {
+	nl, pl := gridNetlist(36, 4)
+	opts := DefaultOptions()
+	full, err := Route(nl, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := &Warm{Cols: full.Cols, Rows: full.Rows, Paths: full.Paths}
+	res, reused, err := RouteDeltaCtx(context.Background(), nl, pl, opts, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != len(nl.Wires) {
+		t.Fatalf("reused %d of %d wires", reused, len(nl.Wires))
+	}
+	if res.Total != full.Total {
+		t.Fatalf("delta total %g, full %g", res.Total, full.Total)
+	}
+	for wi := range full.Paths {
+		if len(res.Paths[wi]) != len(full.Paths[wi]) {
+			t.Fatalf("wire %d path changed: %v vs %v", wi, res.Paths[wi], full.Paths[wi])
+		}
+		for k := range full.Paths[wi] {
+			if res.Paths[wi][k] != full.Paths[wi][k] {
+				t.Fatalf("wire %d path changed: %v vs %v", wi, res.Paths[wi], full.Paths[wi])
+			}
+		}
+	}
+	for b := range full.Usage {
+		if res.Usage[b] != full.Usage[b] {
+			t.Fatalf("usage diverged at bin %d", b)
+		}
+	}
+}
+
+// TestRouteDeltaDirtySubset marks a few wires dirty and checks they get
+// routed while the clean wires keep their warm paths.
+func TestRouteDeltaDirtySubset(t *testing.T) {
+	nl, pl := gridNetlist(36, 4)
+	opts := DefaultOptions()
+	full, err := Route(nl, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([][]int, len(full.Paths))
+	copy(paths, full.Paths)
+	dirty := []int{3, 10, 20}
+	for _, wi := range dirty {
+		paths[wi] = nil
+	}
+	warm := &Warm{Cols: full.Cols, Rows: full.Rows, Paths: paths}
+	res, reused, err := RouteDeltaCtx(context.Background(), nl, pl, opts, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != len(nl.Wires)-len(dirty) {
+		t.Fatalf("reused %d, want %d", reused, len(nl.Wires)-len(dirty))
+	}
+	for _, wi := range dirty {
+		if len(res.Paths[wi]) == 0 || res.WireLength[wi] <= 0 {
+			t.Fatalf("dirty wire %d not routed", wi)
+		}
+	}
+	// The warm inputs must not have been scribbled over by search scratch.
+	for wi, p := range paths {
+		if p == nil {
+			continue
+		}
+		for k := range p {
+			if p[k] != full.Paths[wi][k] {
+				t.Fatalf("warm path %d mutated", wi)
+			}
+		}
+	}
+}
+
+// TestRouteDeltaGridMismatch hands warm paths from a different grid; the
+// delta route must fall back to a from-scratch route identical to RouteCtx.
+func TestRouteDeltaGridMismatch(t *testing.T) {
+	nl, pl := gridNetlist(25, 4)
+	opts := DefaultOptions()
+	full, err := Route(nl, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := &Warm{Cols: full.Cols + 3, Rows: full.Rows, Paths: full.Paths}
+	res, reused, err := RouteDeltaCtx(context.Background(), nl, pl, opts, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != 0 {
+		t.Fatalf("reused %d wires across a grid mismatch", reused)
+	}
+	if res.Total != full.Total {
+		t.Fatalf("fallback total %g, full %g", res.Total, full.Total)
+	}
+}
+
+// TestRouteDeltaEndpointMismatch hands one warm path whose endpoints no
+// longer match the wire's terminal bins; that wire must be rerouted, the
+// rest reused.
+func TestRouteDeltaEndpointMismatch(t *testing.T) {
+	nl, pl := gridNetlist(25, 4)
+	opts := DefaultOptions()
+	full, err := Route(nl, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([][]int, len(full.Paths))
+	copy(paths, full.Paths)
+	// Find a multi-bin wire and truncate its warm path so the endpoint lies.
+	target := -1
+	for wi, p := range paths {
+		if len(p) >= 3 {
+			target = wi
+			stale := append([]int(nil), p[:len(p)-1]...)
+			paths[wi] = stale
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no multi-bin wire in fixture")
+	}
+	warm := &Warm{Cols: full.Cols, Rows: full.Rows, Paths: paths}
+	res, reused, err := RouteDeltaCtx(context.Background(), nl, pl, opts, warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != len(nl.Wires)-1 {
+		t.Fatalf("reused %d, want %d", reused, len(nl.Wires)-1)
+	}
+	p := res.Paths[target]
+	if len(p) < 2 || p[len(p)-1] == p[0] {
+		t.Fatalf("stale-endpoint wire %d not rerouted: %v", target, p)
+	}
+}
+
+// TestRouteDeltaWorkerInvariance: the delta path must be bit-identical for
+// any worker count.
+func TestRouteDeltaWorkerInvariance(t *testing.T) {
+	nl, pl := gridNetlist(49, 3)
+	opts := DefaultOptions()
+	full, err := Route(nl, pl, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([][]int, len(full.Paths))
+	copy(paths, full.Paths)
+	for wi := 5; wi < len(paths); wi += 7 {
+		paths[wi] = nil
+	}
+	warm := &Warm{Cols: full.Cols, Rows: full.Rows, Paths: paths}
+	var ref *Result
+	for _, workers := range []int{1, 2, 4, 8} {
+		o := opts
+		o.Workers = workers
+		res, _, err := RouteDeltaCtx(context.Background(), nl, pl, o, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Total != ref.Total {
+			t.Fatalf("workers=%d total %g, want %g", workers, res.Total, ref.Total)
+		}
+		for wi := range ref.Paths {
+			if len(res.Paths[wi]) != len(ref.Paths[wi]) {
+				t.Fatalf("workers=%d wire %d path differs", workers, wi)
+			}
+			for k := range ref.Paths[wi] {
+				if res.Paths[wi][k] != ref.Paths[wi][k] {
+					t.Fatalf("workers=%d wire %d path differs", workers, wi)
+				}
+			}
+		}
+	}
+}

@@ -244,7 +244,12 @@ const (
 // negotiating. It converges when no edge is overused; if the round budget
 // runs out, or rounds keep stalling with no relaxation left, it falls back
 // to the legacy engine, preserving its completion guarantee.
-func (rt *router) negotiate(ctx context.Context) error {
+// The initial list is the wires routed in round 1, in paper order — the
+// full rt.order on a from-scratch route, only the dirty wires on a delta
+// route (every other wire's path is already committed to the usage maps).
+// Later rounds always consider every wire: a warm path crossing an edge the
+// new wires congested is ripped and renegotiated like any other.
+func (rt *router) negotiate(ctx context.Context, initial []int) error {
 	g, res, opts := rt.g, rt.res, rt.opts
 	ng := &negotiator{
 		g:             g,
@@ -266,7 +271,7 @@ func (rt *router) negotiate(ctx context.Context) error {
 	}
 	states := sync.Pool{New: func() interface{} { return new(biState) }}
 	pops := make([]int, len(rt.nl.Wires))
-	reroute := rt.order // round 1: every wire, in the paper's order
+	reroute := initial // round 1: the caller's wire set, in the paper's order
 	var ripped []int
 	batchNo := 0
 	prevOver := 0

@@ -481,6 +481,25 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 		obs.Emit(opts.Observer, routeStatsOf(res, 0))
 		return res, nil
 	}
+	rt := newRouter(nl, pl, opts, res)
+	var err error
+	if opts.Negotiate {
+		err = rt.negotiate(ctx, rt.order)
+	} else {
+		err = rt.relax(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rt.finalize()
+	return res, nil
+}
+
+// newRouter builds the per-route state both engines and both entry points
+// (from-scratch and delta) share: the grid over the placement, the paper's
+// wire order, the precomputed terminal bins, and the resolved batch/worker
+// knobs. It sizes res.Paths and records the grid dimensions.
+func newRouter(nl *netlist.Netlist, pl *place.Result, opts Options, res *Result) *router {
 	g := newGrid(pl, opts.Theta)
 	res.Cols, res.Rows = g.cols, g.rows
 
@@ -521,33 +540,30 @@ func RouteCtx(ctx context.Context, nl *netlist.Netlist, pl *place.Result, opts O
 		tc, tr := g.binOf(pl.X[w.To], pl.Y[w.To])
 		src[i], dst[i] = sr*g.cols+sc, tr*g.cols+tc
 	}
-	rt := &router{
+	res.Paths = make([][]int, len(nl.Wires))
+	return &router{
 		g: g, nl: nl, pl: pl, opts: opts, res: res,
 		order: order, src: src, dst: dst,
 		batch: batch, workers: parallel.Resolve(opts.Workers),
 	}
-	res.Paths = make([][]int, len(nl.Wires))
-	var err error
-	if opts.Negotiate {
-		err = rt.negotiate(ctx)
-	} else {
-		err = rt.relax(ctx)
-	}
-	if err != nil {
-		return nil, err
-	}
+}
+
+// finalize sums the total wirelength, rebuilds the congestion map from the
+// committed paths, and emits the summary event.
+func (rt *router) finalize() {
+	res := rt.res
+	res.Total = 0
 	for _, l := range res.WireLength {
 		res.Total += l
 	}
 	// Congestion map: wires passing through each bin.
-	res.Usage = make([]int, g.cols*g.rows)
+	res.Usage = make([]int, rt.g.cols*rt.g.rows)
 	for _, path := range res.Paths {
 		for _, b := range path {
 			res.Usage[b]++
 		}
 	}
-	obs.Emit(opts.Observer, routeStatsOf(res, len(nl.Wires)))
-	return res, nil
+	obs.Emit(rt.opts.Observer, routeStatsOf(res, len(rt.nl.Wires)))
 }
 
 // routeStatsOf packs a Result's counters into the summary event.

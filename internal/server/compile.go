@@ -26,19 +26,36 @@ type compileSpec struct {
 	cfg     autoncs.Config
 	fullCro bool
 	key     cache.Key
+
+	// Delta fields, set when the submission asked for an incremental
+	// recompile (?base= / CompileRequest.Base) and survived the handler's
+	// artifact resolution and edit-ratio cutoff. key is then the
+	// delta-domain address; baseKey is the base compile's result key, and
+	// base its decoded artifact. A fallen-back submission carries none of
+	// these — it is an ordinary full compile.
+	delta   bool
+	baseKey cache.Key
+	base    *autoncs.Artifact
 }
 
 // buildSpec materializes a wire request under the service's size limit.
 // The materialization itself lives on client.CompileRequest.Spec so the
 // shard-aware Fleet client derives the exact same cache key the daemon
 // serves under. Every validation failure is a client-side (HTTP 400)
-// error.
+// error. A delta request's artifact resolution happens separately in
+// resolveDelta — it needs the daemon's cache, which Spec has no business
+// touching.
 func buildSpec(req client.CompileRequest) (*compileSpec, error) {
 	sp, err := req.Spec(maxRequestNeurons)
 	if err != nil {
 		return nil, err
 	}
-	return &compileSpec{net: sp.Net, cfg: sp.Config, fullCro: sp.FullCro, key: cache.Key(sp.Key)}, nil
+	out := &compileSpec{net: sp.Net, cfg: sp.Config, fullCro: sp.FullCro, key: cache.Key(sp.Key)}
+	if sp.Delta {
+		out.delta = true
+		out.baseKey = cache.Key(sp.Base)
+	}
+	return out, nil
 }
 
 // run executes the compile under ctx with the given worker-pool bound and
@@ -47,6 +64,14 @@ func (sp *compileSpec) run(ctx context.Context, workers int, ob autoncs.Observer
 	cfg := sp.cfg
 	cfg.Workers = workers
 	cfg.Observer = ob
+	if sp.base != nil {
+		prev, err := sp.base.Restore(sp.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("restoring base artifact %s: %w", sp.baseKey.Hex(), err)
+		}
+		res, _, err := autoncs.CompileDeltaCtx(ctx, prev, sp.net, cfg)
+		return res, err
+	}
 	if sp.fullCro {
 		return autoncs.CompileFullCroCtx(ctx, sp.net, cfg)
 	}

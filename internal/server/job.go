@@ -140,6 +140,9 @@ func (j *job) status(embedResult bool) client.JobStatus {
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 		StageTimes:  j.stageTimes,
 	}
+	if j.spec.delta {
+		st.BaseKey = j.spec.baseKey.Hex()
+	}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}

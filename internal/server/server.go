@@ -62,6 +62,12 @@ type Options struct {
 	// first submission arrives; 0 means 2ms. Admission latency is bounded
 	// by this window, negligible against any compile.
 	AdmitWindow time.Duration
+	// DeltaMaxEditRatio is the edit-ratio cutoff for delta recompiles: a
+	// ?base= submission whose edit set touches more than this fraction of
+	// the base's connections falls back to a full compile. 0 means the
+	// default (0.1); negative disables delta serving entirely (every
+	// ?base= submission falls back).
+	DeltaMaxEditRatio float64
 	// Cache is the content-addressed result store; nil creates a default
 	// in-memory store.
 	Cache *cache.Store
@@ -96,6 +102,7 @@ type Server struct {
 	compileWorkers int
 	admitBatch     int
 	admitWait      time.Duration
+	deltaMaxRatio  float64
 	cache          *cache.Store
 	log            *slog.Logger
 	metrics        *obs.Metrics
@@ -136,6 +143,7 @@ type Server struct {
 	rejected       atomic.Int64
 	cacheHits      atomic.Int64
 	coalesced      atomic.Int64
+	deltaFallbacks atomic.Int64
 	lastJobSeconds atomic.Int64 // rounded up, for Retry-After estimates
 }
 
@@ -191,6 +199,10 @@ func New(opts Options) (*Server, error) {
 	if aw < 0 {
 		return nil, fmt.Errorf("server: negative admit window %v", aw)
 	}
+	dmr := opts.DeltaMaxEditRatio
+	if dmr == 0 {
+		dmr = defaultDeltaMaxRatio
+	}
 	store := opts.Cache
 	if store == nil {
 		var err error
@@ -225,6 +237,7 @@ func New(opts Options) (*Server, error) {
 		compileWorkers: cw,
 		admitBatch:     ab,
 		admitWait:      aw,
+		deltaMaxRatio:  dmr,
 		cache:          store,
 		log:            log,
 		metrics:        &obs.Metrics{},
@@ -415,6 +428,9 @@ func (s *Server) runJob(j *job) {
 				// fine.
 				s.log.Warn("cache put failed", "job", j.id, "err", perr)
 			}
+			// Store the resumable artifact beside the result so this
+			// compile can serve as a future delta's base.
+			s.putArtifact(j, res)
 			stageTimes = make(map[string]float64, len(res.StageTimes))
 			for stage, d := range res.StageTimes {
 				stageTimes[string(stage)] = d.Seconds()
@@ -449,6 +465,17 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err), 0)
 		return
 	}
+	// ?base=<key> is the query-parameter spelling of CompileRequest.Base.
+	// Folding it in before the spec is built keeps key derivation in one
+	// place (client.CompileRequest.Spec).
+	if base := r.URL.Query().Get("base"); base != "" {
+		if req.Base != "" && req.Base != base {
+			s.writeErr(w, http.StatusBadRequest,
+				fmt.Sprintf("?base=%s disagrees with the request body's base %s", base, req.Base), 0)
+			return
+		}
+		req.Base = base
+	}
 	spec, err := buildSpec(req)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err.Error(), 0)
@@ -459,6 +486,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err.Error(), 0)
 		return
+	}
+	if spec.delta {
+		if status, code, msg := s.resolveDelta(r.Context(), spec); status != 0 {
+			s.writeErrCode(w, status, code, msg)
+			return
+		}
 	}
 
 	// Cache probe. A hit never consumes a queue slot: the job record is
@@ -691,6 +724,11 @@ func (s *Server) snapshotMetrics() client.Metrics {
 		Compiles:         snap.Compiles,
 		StageSeconds:     stageSeconds,
 		RequestRecords:   int64(snap.RequestRecords),
+		DeltaCompiles:    int64(snap.DeltaCompiles),
+		DeltaFallbacks:   s.deltaFallbacks.Load(),
+	}
+	if snap.DeltaCompiles > 0 {
+		m.LastDelta = wireDelta(snap.LastDelta)
 	}
 	m.RetryAfterSeconds = s.retryAfter().Seconds()
 	if s.fleet != nil {
@@ -705,6 +743,34 @@ func (s *Server) snapshotMetrics() client.Metrics {
 		m.LastRequest = wireTiming(snap.LastRequest)
 	}
 	return m
+}
+
+// wireDelta converts the internal delta reuse record to its wire form.
+func wireDelta(d obs.DeltaStats) *client.DeltaSummary {
+	return &client.DeltaSummary{
+		Edits:          d.Edits,
+		AddedEdges:     d.AddedEdges,
+		RemovedEdges:   d.RemovedEdges,
+		TouchedNeurons: d.TouchedNeurons,
+		EditRatio:      d.EditRatio,
+
+		BaseCrossbars:    d.BaseCrossbars,
+		KeptCrossbars:    d.KeptCrossbars,
+		DirtyCrossbars:   d.DirtyCrossbars,
+		NewCrossbars:     d.NewCrossbars,
+		ResidualConns:    d.ResidualConns,
+		ClusterReuseFrac: d.ClusterReuseFrac,
+
+		Cells:          d.Cells,
+		SeededCells:    d.SeededCells,
+		PlaceReuseFrac: d.PlaceReuseFrac,
+
+		Wires:          d.Wires,
+		ReusedWires:    d.ReusedWires,
+		ReroutedWires:  d.ReroutedWires,
+		RouteReuseFrac: d.RouteReuseFrac,
+		FullRoute:      d.FullRoute,
+	}
 }
 
 // wireTiming converts the internal timing record to its wire form.
@@ -758,5 +824,20 @@ func (s *Server) writeErr(w http.ResponseWriter, code int, msg string, retryAfte
 	if retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
 	}
-	s.writeJSON(w, code, map[string]string{"error": msg})
+	s.writeJSON(w, code, errorJSON{Error: msg})
+}
+
+// writeErrCode answers with a typed error: the stable machine-readable
+// code rides in the body beside the message (see the client.Code*
+// constants), so clients can branch without parsing prose.
+func (s *Server) writeErrCode(w http.ResponseWriter, status int, code, msg string) {
+	s.writeJSON(w, status, errorJSON{Error: msg, Code: code})
+}
+
+// errorJSON is the server-side shape of the client package's error
+// envelope (client.errorBody is unexported; the field layout is the wire
+// contract).
+type errorJSON struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
